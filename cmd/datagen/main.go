@@ -1,0 +1,160 @@
+// Command datagen generates the synthetic evaluation corpus and
+// prints its statistics (the Fig. 5 dataset characterization), or
+// dumps the full corpus as JSON for inspection.
+//
+// Usage:
+//
+//	datagen [-seed N] [-scale F] [-json out.json] [-samples K]
+//	        [-save corpus.json.gz] [-load corpus.json.gz]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"expertfind/internal/corpusio"
+	"expertfind/internal/dataset"
+	"expertfind/internal/experiments"
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+)
+
+// jsonResource is the dump format of one resource.
+type jsonResource struct {
+	ID        int32    `json:"id"`
+	Network   string   `json:"network"`
+	Kind      string   `json:"kind"`
+	Creator   string   `json:"creator"`
+	Container int32    `json:"container,omitempty"`
+	Text      string   `json:"text"`
+	URLs      []string `json:"urls,omitempty"`
+}
+
+// jsonCandidate is the dump format of one candidate's ground truth.
+type jsonCandidate struct {
+	Name           string         `json:"name"`
+	Expressiveness float64        `json:"expressiveness"`
+	Activity       float64        `json:"activity"`
+	Levels         map[string]int `json:"levels"`
+	ExpertIn       []string       `json:"expert_in"`
+}
+
+type jsonDump struct {
+	Seed       int64           `json:"seed"`
+	Scale      float64         `json:"scale"`
+	Candidates []jsonCandidate `json:"candidates"`
+	Queries    []dataset.Query `json:"queries"`
+	Resources  []jsonResource  `json:"resources"`
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "generation seed")
+	scale := flag.Float64("scale", 1.0, "volume multiplier")
+	jsonPath := flag.String("json", "", "write the full corpus as JSON to this file")
+	savePath := flag.String("save", "", "save a reloadable corpus snapshot (.json or .json.gz)")
+	loadPath := flag.String("load", "", "load a corpus snapshot instead of generating")
+	samples := flag.Int("samples", 3, "sample resources to print per network")
+	flag.Parse()
+
+	t0 := time.Now()
+	var ds *dataset.Dataset
+	if *loadPath != "" {
+		var err error
+		ds, err = corpusio.LoadFile(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		ds = dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
+	}
+	fmt.Printf("generated in %v: %d resources, %d users (%d candidates), %d containers, %d web pages\n\n",
+		time.Since(t0).Round(time.Millisecond), ds.Graph.NumResources(), ds.Graph.NumUsers(),
+		len(ds.Candidates), ds.Graph.NumContainers(), ds.Web.Len())
+
+	sys := &experiments.System{DS: ds}
+	fmt.Print(experiments.RunFig5a(sys))
+	fmt.Println()
+	fmt.Print(experiments.RunFig5b(sys))
+
+	if *samples > 0 {
+		fmt.Println("\nsample resources:")
+		printSamples(ds, *samples)
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(ds, *jsonPath, *seed, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncorpus written to %s\n", *jsonPath)
+	}
+	if *savePath != "" {
+		if err := corpusio.SaveFile(ds, *savePath); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreloadable snapshot written to %s\n", *savePath)
+	}
+}
+
+func printSamples(ds *dataset.Dataset, k int) {
+	printed := map[socialgraph.Network]int{}
+	for i := 0; i < ds.Graph.NumResources(); i++ {
+		r := ds.Graph.Resource(socialgraph.ResourceID(i))
+		if r.Kind == socialgraph.KindProfile || printed[r.Network] >= k {
+			continue
+		}
+		printed[r.Network]++
+		text := r.Text
+		if len(text) > 90 {
+			text = text[:90] + "..."
+		}
+		fmt.Printf("  [%s/%s] %s\n", r.Network, r.Kind, text)
+	}
+}
+
+func writeJSON(ds *dataset.Dataset, path string, seed int64, scale float64) error {
+	dump := jsonDump{Seed: seed, Scale: scale, Queries: ds.Queries}
+	for _, u := range ds.Candidates {
+		c := jsonCandidate{
+			Name:           ds.Graph.User(u).Name,
+			Expressiveness: ds.Expressiveness(u),
+			Activity:       ds.Activity(u),
+			Levels:         map[string]int{},
+		}
+		for _, dom := range kb.Domains {
+			c.Levels[string(dom)] = ds.Level(u, dom)
+			if ds.IsExpert(u, dom) {
+				c.ExpertIn = append(c.ExpertIn, string(dom))
+			}
+		}
+		dump.Candidates = append(dump.Candidates, c)
+	}
+	for i := 0; i < ds.Graph.NumResources(); i++ {
+		r := ds.Graph.Resource(socialgraph.ResourceID(i))
+		dump.Resources = append(dump.Resources, jsonResource{
+			ID:        int32(r.ID),
+			Network:   string(r.Network),
+			Kind:      r.Kind.String(),
+			Creator:   ds.Graph.User(r.Creator).Name,
+			Container: int32(r.Container),
+			Text:      r.Text,
+			URLs:      r.URLs,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

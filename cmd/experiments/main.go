@@ -1,0 +1,84 @@
+// Command experiments reproduces the tables and figures of the
+// paper's evaluation section over the synthetic corpus and prints
+// them as text.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [-run id,id,...]
+//
+// Experiment ids: fig5a fig5b fig6 fig7 table2 fig8 table3 fig9
+// table4 fig10 fig11 (default: all, in paper order).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"expertfind/internal/dataset"
+	"expertfind/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "dataset generation seed")
+	scale := flag.Float64("scale", 1.0, "corpus volume multiplier")
+	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	runners := []struct {
+		id string
+		fn func(*experiments.System) fmt.Stringer
+	}{
+		{"fig5a", func(s *experiments.System) fmt.Stringer { return experiments.RunFig5a(s) }},
+		{"fig5b", func(s *experiments.System) fmt.Stringer { return experiments.RunFig5b(s) }},
+		{"fig6", func(s *experiments.System) fmt.Stringer { return experiments.RunFig6(s) }},
+		{"fig7", func(s *experiments.System) fmt.Stringer { return experiments.RunFig7(s) }},
+		{"table2", func(s *experiments.System) fmt.Stringer { return experiments.RunTable2(s) }},
+		{"fig8", func(s *experiments.System) fmt.Stringer { return experiments.RunFig8(s) }},
+		{"table3", func(s *experiments.System) fmt.Stringer { return experiments.RunTable3(s) }},
+		{"fig9", func(s *experiments.System) fmt.Stringer { return experiments.RunFig9(s) }},
+		{"table4", func(s *experiments.System) fmt.Stringer { return experiments.RunTable4(s) }},
+		{"fig10", func(s *experiments.System) fmt.Stringer { return experiments.RunFig10(s) }},
+		{"fig11", func(s *experiments.System) fmt.Stringer { return experiments.RunFig11(s) }},
+		{"baselines", func(s *experiments.System) fmt.Stringer { return experiments.RunBaselineComparison(s) }},
+		{"significance", func(s *experiments.System) fmt.Stringer { return experiments.RunSignificance(s) }},
+		{"crawl", func(s *experiments.System) fmt.Stringer { return experiments.RunCrawlRobustness(s) }},
+		{"agreement", func(s *experiments.System) fmt.Stringer { return experiments.RunNetworkAgreement(s) }},
+		{"correlation", func(s *experiments.System) fmt.Stringer { return experiments.RunCorrelation(s) }},
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			known := false
+			for _, r := range runners {
+				if r.id == id {
+					known = true
+				}
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	t0 := time.Now()
+	sys := experiments.BuildSystem(dataset.Config{Seed: *seed, Scale: *scale})
+	fmt.Printf("system: %d resources generated, %d indexed, %d candidates (built in %v)\n\n",
+		sys.DS.Graph.NumResources(), sys.Kept, len(sys.DS.Candidates), time.Since(t0).Round(time.Millisecond))
+
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t := time.Now()
+		result := r.fn(sys)
+		fmt.Printf("== %s (%v) ==\n%s\n", r.id, time.Since(t).Round(time.Millisecond), result)
+	}
+}

@@ -1,0 +1,77 @@
+// Command serve runs the expert finding system as an HTTP JSON
+// service (see internal/httpapi for the endpoints).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
+//
+// With -corpus, the system is built from a saved corpus snapshot
+// (datagen -save); otherwise a synthetic corpus is generated.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"expertfind"
+	"expertfind/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "corpus seed (ignored with -corpus)")
+	scale := flag.Float64("scale", 0.5, "corpus volume multiplier (ignored with -corpus)")
+	corpus := flag.String("corpus", "", "load a saved corpus snapshot instead of generating")
+	flag.Parse()
+
+	t0 := time.Now()
+	var (
+		sys *expertfind.System
+		err error
+	)
+	if *corpus != "" {
+		sys, err = expertfind.NewSystemFromCorpus(*corpus)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	} else {
+		sys = expertfind.NewSystem(expertfind.Config{Seed: *seed, Scale: *scale})
+	}
+	st := sys.Stats()
+	log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed",
+		time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Drain in-flight requests on SIGINT/SIGTERM.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("serve: shutdown: %v", err)
+		}
+		close(idle)
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(fmt.Errorf("serve: %w", err))
+	}
+	<-idle
+}

@@ -1,0 +1,60 @@
+package expertfind_test
+
+import (
+	"fmt"
+
+	"expertfind"
+)
+
+// The examples below build tiny systems (Scale 0.05) so they run in
+// well under a second; real deployments use Scale 1.0 or a loaded
+// corpus.
+
+func ExampleSystem_Find() {
+	sys := expertfind.NewSystem(expertfind.Config{Seed: 1, Scale: 0.05})
+	experts, err := sys.Find("why is copper a good conductor?")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(experts) > 0)
+	// Output: true
+}
+
+func ExampleSystem_Find_options() {
+	sys := expertfind.NewSystem(expertfind.Config{Seed: 1, Scale: 0.05})
+	// Profiles only, Twitter only, keyword matching only.
+	experts, err := sys.Find("who is the best at freestyle swimming?",
+		expertfind.WithMaxDistance(0),
+		expertfind.WithNetworks(expertfind.Twitter),
+		expertfind.WithAlpha(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(experts != nil || experts == nil)
+	// Output: true
+}
+
+func ExampleSystem_BestNetwork() {
+	sys := expertfind.NewSystem(expertfind.Config{Seed: 1, Scale: 0.05})
+	best, rankings, err := sys.BestNetwork("can you list some famous songs of michael jackson?")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(best != "", len(rankings))
+	// Output: true 3
+}
+
+func ExampleDomains() {
+	for _, d := range expertfind.Domains() {
+		fmt.Println(d)
+	}
+	// Output:
+	// computer-engineering
+	// location
+	// movies-tv
+	// music
+	// science
+	// sport
+	// technology-games
+}

@@ -1,0 +1,70 @@
+// Networkcompare: which social platform is the best source of
+// expertise for each domain? The paper finds (§3.6) that Twitter
+// leads in computer engineering, science, sport and technology &
+// games, while Facebook shines in location, music, sport and
+// movies & tv, and LinkedIn trails everywhere. This example measures
+// the same thing through the public API: for every evaluation query
+// it ranks experts per platform and scores each platform by how many
+// true domain experts it puts in the top 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"expertfind"
+)
+
+func main() {
+	sys := expertfind.NewSystem(expertfind.Config{Seed: 1, Scale: 0.2})
+
+	// precision@5 of true experts, per domain and network.
+	type key struct {
+		domain  string
+		network expertfind.Network
+	}
+	hits := map[key]int{}
+	asked := map[key]int{}
+
+	for _, q := range sys.Queries() {
+		for _, net := range expertfind.Networks() {
+			experts, err := sys.Find(q.Text, expertfind.WithNetworks(net))
+			if err != nil {
+				log.Fatal(err)
+			}
+			k := key{q.Domain, net}
+			for i, e := range experts {
+				if i >= 5 {
+					break
+				}
+				asked[k]++
+				isExp, err := sys.IsExpert(e.Name, q.Domain)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if isExp {
+					hits[k]++
+				}
+			}
+		}
+	}
+
+	fmt.Println("true-expert precision in the top-5, per domain and platform:")
+	fmt.Printf("%-22s %10s %10s %10s   %s\n", "domain", "facebook", "twitter", "linkedin", "winner")
+	for _, dom := range expertfind.Domains() {
+		best, bestP := expertfind.Network("-"), -1.0
+		var row []float64
+		for _, net := range expertfind.Networks() {
+			k := key{dom, net}
+			p := 0.0
+			if asked[k] > 0 {
+				p = float64(hits[k]) / float64(asked[k])
+			}
+			row = append(row, p)
+			if p > bestP {
+				best, bestP = net, p
+			}
+		}
+		fmt.Printf("%-22s %10.3f %10.3f %10.3f   %s\n", dom, row[0], row[1], row[2], best)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: build an expert finding system over the synthetic
+// social corpus and ask it a question, exactly like Anna in the
+// paper's Fig. 1 — who, among the people in my social circle, should
+// I ask about freestyle swimming?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"expertfind"
+)
+
+func main() {
+	// A reduced-scale corpus keeps the example fast; Scale 1.0 builds
+	// the full ~20k-resource evaluation corpus.
+	sys := expertfind.NewSystem(expertfind.Config{Seed: 1, Scale: 0.2})
+	st := sys.Stats()
+	fmt.Printf("corpus: %d candidates, %d resources (%d indexed)\n\n",
+		st.Candidates, st.Resources, st.Indexed)
+
+	need := "who is the best at freestyle swimming after michael phelps?"
+	experts, err := sys.Find(need)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("expertise need: %s\n", need)
+	fmt.Println("top experts:")
+	for i, e := range experts {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-16s score %7.1f (%d supporting resources)\n",
+			i+1, e.Name, e.Score, e.SupportingResources)
+	}
+
+	// The paper's second question: on which platform should Anna
+	// contact them?
+	best, _, err := sys.BestNetwork(need)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest platform to reach them: %s\n", best)
+}

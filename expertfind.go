@@ -1,0 +1,385 @@
+// Package expertfind finds the right crowd: it ranks the members of a
+// social group by their expertise with respect to a natural-language
+// expertise need, using the behavioral traces they leave on social
+// networks — profiles, posts, tweets, likes, group memberships and
+// follow relationships.
+//
+// It is a complete implementation of Bozzon, Brambilla, Ceri,
+// Silvestri and Vesci, "Choosing the Right Crowd: Expert Finding in
+// Social Networks", EDBT 2013: resources related to each candidate
+// are collected from the social graph up to distance 2, analyzed
+// through an IR pipeline (URL content extraction, language
+// identification, text processing, entity recognition and
+// disambiguation), matched against the need with a vector-space model
+// combining term and entity evidence, and aggregated into per-expert
+// scores weighted by graph distance.
+//
+// The simplest entry point builds a System over a synthetic,
+// seeded corpus that mirrors the paper's evaluation dataset:
+//
+//	sys := expertfind.NewSystem(expertfind.Config{Seed: 1})
+//	experts, err := sys.Find("why is copper a good conductor?")
+//
+// Queries can be restricted per platform, distance, window size or
+// matching weights through functional options, and the paper's second
+// question — which is the best social platform to contact the experts
+// on? — is answered by BestNetwork.
+package expertfind
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"expertfind/internal/core"
+	"expertfind/internal/corpusio"
+	"expertfind/internal/dataset"
+	"expertfind/internal/experiments"
+	"expertfind/internal/index"
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+)
+
+// Network identifies a social platform.
+type Network string
+
+// The supported social networks.
+const (
+	Facebook Network = Network(socialgraph.Facebook)
+	Twitter  Network = Network(socialgraph.Twitter)
+	LinkedIn Network = Network(socialgraph.LinkedIn)
+)
+
+// Networks lists the supported platforms.
+func Networks() []Network { return []Network{Facebook, Twitter, LinkedIn} }
+
+// Domains lists the expertise domains of the built-in knowledge base
+// and evaluation dataset.
+func Domains() []string {
+	out := make([]string, len(kb.Domains))
+	for i, d := range kb.Domains {
+		out[i] = string(d)
+	}
+	return out
+}
+
+// Config parameterizes the synthetic corpus behind a System.
+type Config struct {
+	// Seed drives generation; equal seeds build identical systems.
+	// Zero selects seed 1.
+	Seed int64
+	// Candidates is the expert-candidate pool size (default 40).
+	Candidates int
+	// Scale multiplies resource volumes (default 1.0 ≈ 20k resources).
+	Scale float64
+}
+
+// Expert is one ranked expert candidate.
+type Expert struct {
+	// Name is the candidate's handle.
+	Name string
+	// Score is the expertise score of Eq. 3; higher is better.
+	Score float64
+	// SupportingResources is the number of relevant resources that
+	// contributed to the score.
+	SupportingResources int
+}
+
+// Query is one expertise need of the evaluation set.
+type Query struct {
+	ID     int
+	Text   string
+	Domain string
+}
+
+// Stats summarizes the corpus behind a System.
+type Stats struct {
+	Candidates int
+	Resources  int // generated resources, all languages
+	Indexed    int // English resources surviving the filter
+	Users      int // all users, externals included
+	WebPages   int // synthetic linked pages
+}
+
+// System is a ready-to-query expert finding system over a generated
+// social corpus. Create one with NewSystem; it is safe for concurrent
+// queries.
+type System struct {
+	inner *experiments.System
+	names map[string]socialgraph.UserID
+}
+
+// NewSystem generates the synthetic corpus for cfg and indexes it
+// through the full analysis pipeline. Building a full-scale system
+// takes a few seconds; reuse it across queries.
+func NewSystem(cfg Config) *System {
+	inner := experiments.BuildSystem(dataset.Config{
+		Seed:          cfg.Seed,
+		NumCandidates: cfg.Candidates,
+		Scale:         cfg.Scale,
+	})
+	return wrapSystem(inner)
+}
+
+// NewSystemFromCorpus loads a corpus snapshot previously saved with
+// SaveCorpus (or `datagen -save`) and indexes it.
+func NewSystemFromCorpus(path string) (*System, error) {
+	ds, err := corpusio.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrapSystem(experiments.BuildSystemFromDataset(ds)), nil
+}
+
+// NewSystemFromCorpusAndIndex loads a corpus snapshot together with a
+// pre-built index segment (saved with SaveIndex), skipping the
+// analysis pass entirely — the fast path for serving a large corpus.
+func NewSystemFromCorpusAndIndex(corpusPath, indexPath string) (*System, error) {
+	ds, err := corpusio.LoadFile(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix, err := index.ReadIndex(f)
+	if err != nil {
+		return nil, err
+	}
+	return wrapSystem(experiments.BuildSystemWithIndex(ds, ix)), nil
+}
+
+// SaveIndex writes the system's resource index as a binary segment
+// that NewSystemFromCorpusAndIndex can reload.
+func (s *System) SaveIndex(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = s.inner.Finder.Index().WriteTo(f)
+	return err
+}
+
+// SaveCorpus writes the system's corpus (graph, pages, queries,
+// ground truth) to path; a ".gz" suffix selects compression. The
+// snapshot can be reloaded with NewSystemFromCorpus.
+func (s *System) SaveCorpus(path string) error {
+	return corpusio.SaveFile(s.inner.DS, path)
+}
+
+func wrapSystem(inner *experiments.System) *System {
+	s := &System{inner: inner, names: make(map[string]socialgraph.UserID)}
+	for _, u := range inner.DS.Candidates {
+		s.names[inner.DS.Graph.User(u).Name] = u
+	}
+	return s
+}
+
+// findConfig collects the functional options of Find.
+type findConfig struct {
+	params core.Params
+	err    error
+}
+
+// FindOption customizes a Find call.
+type FindOption func(*findConfig)
+
+// WithAlpha sets the Eq. 1 balance between keyword matching (1.0) and
+// entity matching (0.0). The default is the paper's 0.6.
+func WithAlpha(alpha float64) FindOption {
+	return func(c *findConfig) {
+		if alpha < 0 || alpha > 1 {
+			c.err = fmt.Errorf("expertfind: alpha %v outside [0,1]", alpha)
+			return
+		}
+		c.params.Alpha = alpha
+		c.params.AlphaSet = true
+	}
+}
+
+// WithWindow sets the number of top-matching resources considered for
+// ranking (default 100); n <= 0 disables truncation.
+func WithWindow(n int) FindOption {
+	return func(c *findConfig) {
+		if n <= 0 {
+			n = -1
+		}
+		c.params.WindowSize = n
+	}
+}
+
+// WithMaxDistance bounds the social-graph exploration: 0 profiles
+// only, 1 direct resources, 2 (default) indirect resources too.
+func WithMaxDistance(d int) FindOption {
+	return func(c *findConfig) {
+		if d < 0 || d > 2 {
+			c.err = fmt.Errorf("expertfind: distance %d outside [0,2]", d)
+			return
+		}
+		c.params.Traversal.MaxDistance = d
+	}
+}
+
+// WithNetworks restricts evidence to the given platforms.
+func WithNetworks(nets ...Network) FindOption {
+	return func(c *findConfig) {
+		var out []socialgraph.Network
+		for _, n := range nets {
+			switch n {
+			case Facebook, Twitter, LinkedIn:
+				out = append(out, socialgraph.Network(n))
+			default:
+				c.err = fmt.Errorf("expertfind: unknown network %q", n)
+				return
+			}
+		}
+		c.params.Traversal.Networks = out
+	}
+}
+
+// WithFriends includes the resources of friend users (bidirectional
+// relationships) in the exploration. The paper found this brings no
+// significant benefit (§3.3.3).
+func WithFriends() FindOption {
+	return func(c *findConfig) { c.params.Traversal.IncludeFriends = true }
+}
+
+// WithDistanceWeights overrides the per-distance resource weights wr
+// (defaults 1.0, 0.75, 0.5).
+func WithDistanceWeights(d0, d1, d2 float64) FindOption {
+	return func(c *findConfig) { c.params.DistanceWeights = [3]float64{d0, d1, d2} }
+}
+
+func (s *System) buildParams(opts []FindOption) (core.Params, error) {
+	cfg := findConfig{params: core.Params{
+		Traversal: socialgraph.TraversalOptions{MaxDistance: 2},
+	}}
+	for _, o := range opts {
+		o(&cfg)
+		if cfg.err != nil {
+			return core.Params{}, cfg.err
+		}
+	}
+	return cfg.params, nil
+}
+
+// Find ranks the candidate experts for an expertise need, best first.
+// Only candidates with positive expertise score are returned.
+func (s *System) Find(need string, opts ...FindOption) ([]Expert, error) {
+	p, err := s.buildParams(opts)
+	if err != nil {
+		return nil, err
+	}
+	scores := s.inner.Finder.Find(need, p)
+	out := make([]Expert, len(scores))
+	for i, es := range scores {
+		out[i] = Expert{
+			Name:                s.inner.DS.Graph.User(es.User).Name,
+			Score:               es.Score,
+			SupportingResources: es.Resources,
+		}
+	}
+	return out, nil
+}
+
+// BestNetwork answers the paper's second question — which is the best
+// social platform to contact the experts on? — by ranking the experts
+// on each network separately and choosing the platform with the
+// strongest top-3 expertise mass. The per-network rankings are also
+// returned.
+func (s *System) BestNetwork(need string, opts ...FindOption) (Network, map[Network][]Expert, error) {
+	rankings := make(map[Network][]Expert, 3)
+	best, bestScore := Network(""), -1.0
+	for _, net := range Networks() {
+		experts, err := s.Find(need, append(append([]FindOption{}, opts...), WithNetworks(net))...)
+		if err != nil {
+			return "", nil, err
+		}
+		rankings[net] = experts
+		score := 0.0
+		for i, e := range experts {
+			if i >= 3 {
+				break
+			}
+			score += e.Score
+		}
+		if score > bestScore {
+			best, bestScore = net, score
+		}
+	}
+	return best, rankings, nil
+}
+
+// Queries returns the 30 evaluation expertise needs.
+func (s *System) Queries() []Query {
+	out := make([]Query, 0, len(s.inner.DS.Queries))
+	for _, q := range s.inner.DS.Queries {
+		out = append(out, Query{ID: q.ID, Text: q.Text, Domain: string(q.Domain)})
+	}
+	return out
+}
+
+// Candidates returns the candidate handles, sorted.
+func (s *System) Candidates() []string {
+	out := make([]string, 0, len(s.names))
+	for name := range s.names {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsExpert reports whether the ground truth marks the named candidate
+// as an expert of the domain.
+func (s *System) IsExpert(name, domain string) (bool, error) {
+	u, ok := s.names[name]
+	if !ok {
+		return false, fmt.Errorf("expertfind: unknown candidate %q", name)
+	}
+	dom, err := parseDomain(domain)
+	if err != nil {
+		return false, err
+	}
+	return s.inner.DS.IsExpert(u, dom), nil
+}
+
+// Experts returns the ground-truth experts of a domain.
+func (s *System) Experts(domain string) ([]string, error) {
+	dom, err := parseDomain(domain)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, u := range s.inner.DS.Experts(dom) {
+		out = append(out, s.inner.DS.Graph.User(u).Name)
+	}
+	return out, nil
+}
+
+// Stats returns corpus statistics.
+func (s *System) Stats() Stats {
+	ds := s.inner.DS
+	return Stats{
+		Candidates: len(ds.Candidates),
+		Resources:  ds.Graph.NumResources(),
+		Indexed:    s.inner.Kept,
+		Users:      ds.Graph.NumUsers(),
+		WebPages:   ds.Web.Len(),
+	}
+}
+
+func parseDomain(domain string) (kb.Domain, error) {
+	for _, d := range kb.Domains {
+		if string(d) == domain {
+			return d, nil
+		}
+	}
+	return "", fmt.Errorf("expertfind: unknown domain %q (known: %v)", domain, Domains())
+}

@@ -1,0 +1,183 @@
+package expertfind
+
+import (
+	"fmt"
+
+	"expertfind/internal/jury"
+	"expertfind/internal/socialgraph"
+	"expertfind/internal/teams"
+)
+
+// Team is an expert team covering several expertise needs while
+// staying well connected in the social network (the Expert Team
+// Formation problem of Lappas et al., which the paper's related work
+// positions next to expert finding).
+type Team struct {
+	// Members are the distinct team members.
+	Members []string
+	// ByNeed maps each input need to the member covering it.
+	ByNeed map[string]string
+	// Diameter is the largest communication distance (hops over
+	// mutual relationships) between any two members.
+	Diameter int
+	// SumDistance is the total pairwise communication distance.
+	SumDistance int
+	// Connected reports whether all members can reach each other
+	// through mutual relationships.
+	Connected bool
+}
+
+// FormTeam assembles a team able to address every need in needs: the
+// top supportK ranked experts of each need are its candidate
+// supporters, and the team minimizes the communication diameter with
+// the RarestFirst algorithm. Options apply to the per-need expert
+// retrieval.
+func (s *System) FormTeam(needs []string, supportK int, opts ...FindOption) (Team, error) {
+	if len(needs) == 0 {
+		return Team{}, fmt.Errorf("expertfind: no needs given")
+	}
+	if supportK <= 0 {
+		supportK = 5
+	}
+	support := teams.Support{}
+	for _, need := range needs {
+		experts, err := s.Find(need, opts...)
+		if err != nil {
+			return Team{}, err
+		}
+		if len(experts) == 0 {
+			return Team{}, fmt.Errorf("expertfind: no experts found for need %q", need)
+		}
+		var ids []socialgraph.UserID
+		for i, e := range experts {
+			if i >= supportK {
+				break
+			}
+			ids = append(ids, s.names[e.Name])
+		}
+		support[teams.Skill(need)] = ids
+	}
+
+	former := teams.NewFormer(s.inner.DS.Graph, nil)
+	team, err := former.RarestFirst(support)
+	if err != nil {
+		return Team{}, err
+	}
+
+	out := Team{
+		ByNeed:      make(map[string]string, len(team.BySkill)),
+		Diameter:    team.Diameter,
+		SumDistance: team.SumDistance,
+		Connected:   former.Connected(team),
+	}
+	for _, u := range team.Members {
+		out.Members = append(out.Members, s.inner.DS.Graph.User(u).Name)
+	}
+	for sk, u := range team.BySkill {
+		out.ByNeed[string(sk)] = s.inner.DS.Graph.User(u).Name
+	}
+	return out, nil
+}
+
+// EvidenceItem is one resource supporting an expert's selection.
+type EvidenceItem struct {
+	// Network and Kind locate the resource ("twitter"/"tweet",
+	// "facebook"/"group-post", ...).
+	Network string
+	Kind    string
+	// Distance is the social-graph distance between expert and
+	// resource (0 profile, 1 direct, 2 indirect).
+	Distance int
+	// Contribution is how much this resource added to the expert's
+	// score.
+	Contribution float64
+	// Snippet is the resource text, truncated for display.
+	Snippet string
+}
+
+// Explanation justifies one expert's ranking for a need.
+type Explanation struct {
+	Expert string
+	// Score is the total contribution of the listed evidence; with an
+	// untruncated explanation it equals the expert's ranking score.
+	Score    float64
+	Evidence []EvidenceItem
+}
+
+// maxSnippetLen bounds explanation snippets.
+const maxSnippetLen = 120
+
+// Explain returns the top supporting resources behind an expert's
+// score for a need — the transparency a question router needs before
+// bothering a contact ("you're asked because you tweeted X").
+func (s *System) Explain(need, expertName string, topN int, opts ...FindOption) (Explanation, error) {
+	u, ok := s.names[expertName]
+	if !ok {
+		return Explanation{}, fmt.Errorf("expertfind: unknown candidate %q", expertName)
+	}
+	p, err := s.buildParams(opts)
+	if err != nil {
+		return Explanation{}, err
+	}
+	analyzed := s.inner.Finder.Pipeline().AnalyzeNeed(need)
+	evidence := s.inner.Finder.Explain(analyzed, u, p, topN)
+
+	out := Explanation{Expert: expertName}
+	for _, ev := range evidence {
+		r := s.inner.DS.Graph.Resource(ev.Resource)
+		snippet := r.Text
+		if len(snippet) > maxSnippetLen {
+			snippet = snippet[:maxSnippetLen] + "..."
+		}
+		out.Score += ev.Contribution
+		out.Evidence = append(out.Evidence, EvidenceItem{
+			Network:      string(r.Network),
+			Kind:         r.Kind.String(),
+			Distance:     ev.Distance,
+			Contribution: ev.Contribution,
+			Snippet:      snippet,
+		})
+	}
+	return out, nil
+}
+
+// Jury is a voting committee for a yes/no decision task (the Jury
+// Selection Problem of Cao et al., cited by the paper's related work).
+type Jury struct {
+	// Members are the selected jurors, most reliable first.
+	Members []string
+	// ErrorRate is the probability that their majority vote errs.
+	ErrorRate float64
+}
+
+// SelectJury picks the jury (of odd size at most maxSize) minimizing
+// the majority-vote error for a decision task phrased as an expertise
+// need. Individual error rates derive from the retrieved expertise
+// scores: the strongest expert gets the lowest error rate, candidates
+// without supporting resources are not considered.
+func (s *System) SelectJury(need string, maxSize int, opts ...FindOption) (Jury, error) {
+	experts, err := s.Find(need, opts...)
+	if err != nil {
+		return Jury{}, err
+	}
+	if len(experts) == 0 {
+		return Jury{}, fmt.Errorf("expertfind: no experts found for need %q", need)
+	}
+	top := experts[0].Score
+	cands := make([]jury.Juror, len(experts))
+	for i, e := range experts {
+		cands[i] = jury.Juror{
+			ID:        int64(s.names[e.Name]),
+			ErrorRate: jury.ErrorRateFromExpertise(e.Score / top),
+		}
+	}
+	selected, err := jury.Select(cands, maxSize)
+	if err != nil {
+		return Jury{}, err
+	}
+	out := Jury{ErrorRate: selected.ErrorRate}
+	for _, m := range selected.Members {
+		out.Members = append(out.Members, s.inner.DS.Graph.User(socialgraph.UserID(m.ID)).Name)
+	}
+	return out, nil
+}

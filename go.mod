@@ -1,0 +1,3 @@
+module expertfind
+
+go 1.22

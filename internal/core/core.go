@@ -1,0 +1,289 @@
+// Package core implements the paper's primary contribution: matching
+// expertise needs to candidate experts over social-network resources
+// (§2.4) and ranking the experts (§2.4.1, Eq. 3).
+//
+// Given an expertise need q, the Finder
+//
+//  1. analyzes q with the same pipeline used for resources;
+//  2. retrieves the relevant resources RR with the vector-space model
+//     of Eq. (1), restricted to the resources reachable from the
+//     candidate pool under the configured social-graph traversal;
+//  3. truncates RR to the window of the top-n matches (§2.4.1);
+//  4. scores each candidate expert as
+//     score(q,ex) = Σ_{ri∈RR} score(q,ri) · wr(ri,ex),
+//     where wr weighs each resource by its graph distance from the
+//     candidate, linearly decreasing within [0.5, 1] (§3.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/index"
+	"expertfind/internal/socialgraph"
+)
+
+// DefaultWindowSize is the number of relevant resources considered
+// for expert ranking, as set in the paper after the window-size
+// sensitivity analysis (§3.3.1).
+const DefaultWindowSize = 100
+
+// DefaultAlpha balances term matching vs. entity matching, as set in
+// the paper after the α sensitivity analysis (§3.3.2).
+const DefaultAlpha = 0.6
+
+// DefaultDistanceWeights are the wr weighting terms per resource
+// distance: fixed in [0.5, 1] with value linearly decreasing w.r.t.
+// distance (§3.3).
+var DefaultDistanceWeights = [3]float64{1.0, 0.75, 0.5}
+
+// Params configures one expert-finding query.
+type Params struct {
+	// Alpha is the Eq. (1) weighting factor: 1 = keyword matching
+	// only, 0 = entity matching only. A zero Alpha selects
+	// DefaultAlpha unless AlphaSet is true.
+	Alpha float64
+	// AlphaSet marks Alpha as deliberate even when it is 0 (entity
+	// matching only). Without it, a zero Alpha selects DefaultAlpha,
+	// keeping the zero Params value useful.
+	AlphaSet bool
+	// WindowSize truncates the relevant-resource list to the top n
+	// matches. Zero selects DefaultWindowSize; negative disables
+	// truncation.
+	WindowSize int
+	// WindowFrac, when positive, sets the window to this fraction of
+	// the matching resources (the x-axis of Fig. 6), overriding
+	// WindowSize.
+	WindowFrac float64
+	// Traversal bounds the social-graph exploration (distance,
+	// networks, friends).
+	Traversal socialgraph.TraversalOptions
+	// DistanceWeights override wr per distance; the zero value
+	// selects DefaultDistanceWeights.
+	DistanceWeights [3]float64
+}
+
+func (p Params) alpha() float64 {
+	if !p.AlphaSet && p.Alpha == 0 {
+		return DefaultAlpha
+	}
+	return p.Alpha
+}
+
+func (p Params) weights() [3]float64 {
+	if p.DistanceWeights == ([3]float64{}) {
+		return DefaultDistanceWeights
+	}
+	return p.DistanceWeights
+}
+
+func (p Params) window(matches int) int {
+	if p.WindowFrac > 0 {
+		n := int(p.WindowFrac * float64(matches))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	switch {
+	case p.WindowSize < 0:
+		return matches
+	case p.WindowSize == 0:
+		return DefaultWindowSize
+	default:
+		return p.WindowSize
+	}
+}
+
+// ExpertScore is one ranked expert with its expertise score and the
+// number of relevant resources that supported it.
+type ExpertScore struct {
+	User      socialgraph.UserID
+	Score     float64
+	Resources int
+}
+
+// Finder answers expertise needs over a social graph and a resource
+// index. It caches the expensive resource→candidate reachability maps
+// per traversal configuration; the cache is safe for concurrent use.
+type Finder struct {
+	graph      *socialgraph.Graph
+	index      *index.Index
+	pipe       *analysis.Pipeline
+	candidates []socialgraph.UserID
+
+	mu       sync.Mutex
+	rcmCache map[string]map[socialgraph.ResourceID][]socialgraph.CandidateDistance
+}
+
+// NewFinder assembles a Finder. candidates is the expert-candidate
+// pool CE; nil selects every candidate user in the graph.
+func NewFinder(g *socialgraph.Graph, ix *index.Index, pipe *analysis.Pipeline, candidates []socialgraph.UserID) *Finder {
+	if candidates == nil {
+		candidates = g.Candidates()
+	}
+	return &Finder{
+		graph:      g,
+		index:      ix,
+		pipe:       pipe,
+		candidates: candidates,
+		rcmCache:   make(map[string]map[socialgraph.ResourceID][]socialgraph.CandidateDistance),
+	}
+}
+
+// Candidates returns the candidate pool CE.
+func (f *Finder) Candidates() []socialgraph.UserID {
+	out := make([]socialgraph.UserID, len(f.candidates))
+	copy(out, f.candidates)
+	return out
+}
+
+// Graph returns the underlying social graph.
+func (f *Finder) Graph() *socialgraph.Graph { return f.graph }
+
+// Index returns the underlying resource index.
+func (f *Finder) Index() *index.Index { return f.index }
+
+// Pipeline returns the analysis pipeline.
+func (f *Finder) Pipeline() *analysis.Pipeline { return f.pipe }
+
+// Find ranks the candidate experts for a natural-language expertise
+// need. Only experts with positive score are returned, best first.
+func (f *Finder) Find(need string, p Params) []ExpertScore {
+	return f.FindAnalyzed(f.pipe.AnalyzeNeed(need), p)
+}
+
+// FindAnalyzed is Find for a pre-analyzed need.
+func (f *Finder) FindAnalyzed(need analysis.Analyzed, p Params) []ExpertScore {
+	matches := f.Matches(need, p)
+	return f.RankFromMatches(matches, p)
+}
+
+// Matches returns the relevant resources for the need — the scored
+// matches of Eq. (1) restricted to resources reachable from the
+// candidate pool under p.Traversal — ordered by descending relevance,
+// before window truncation.
+func (f *Finder) Matches(need analysis.Analyzed, p Params) []index.ScoredDoc {
+	scored := f.index.Score(need, p.alpha())
+	rcm := f.reachability(p.Traversal)
+	matches := scored[:0:0]
+	for _, sd := range scored {
+		if _, ok := rcm[sd.Doc]; ok {
+			matches = append(matches, sd)
+		}
+	}
+	return matches
+}
+
+// RankFromMatches applies window truncation and the expert scoring
+// function of Eq. (3) to a pre-computed relevant-resource list.
+func (f *Finder) RankFromMatches(matches []index.ScoredDoc, p Params) []ExpertScore {
+	n := p.window(len(matches))
+	if n > len(matches) {
+		n = len(matches)
+	}
+	rcm := f.reachability(p.Traversal)
+	w := p.weights()
+
+	scores := make(map[socialgraph.UserID]float64)
+	support := make(map[socialgraph.UserID]int)
+	for _, sd := range matches[:n] {
+		for _, cd := range rcm[sd.Doc] {
+			scores[cd.Candidate] += sd.Score * w[cd.Distance]
+			support[cd.Candidate]++
+		}
+	}
+
+	out := make([]ExpertScore, 0, len(scores))
+	for u, s := range scores {
+		if s > 0 {
+			out = append(out, ExpertScore{User: u, Score: s, Resources: support[u]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// Evidence is the contribution of one relevant resource to one
+// expert's score: one addend of Eq. (3).
+type Evidence struct {
+	Resource socialgraph.ResourceID
+	// Relevance is score(q, r), the Eq. (1) resource score.
+	Relevance float64
+	// Distance is the resource's graph distance from the expert.
+	Distance int
+	// Contribution is Relevance · wr(distance), the amount added to
+	// the expert's score.
+	Contribution float64
+}
+
+// Explain returns the evidence behind an expert's score for a need:
+// the relevant resources (within the window) associated to the
+// expert, ordered by descending contribution, truncated to topN
+// (topN <= 0 returns everything). The sum of the contributions equals
+// the expert's Eq. (3) score.
+func (f *Finder) Explain(need analysis.Analyzed, u socialgraph.UserID, p Params, topN int) []Evidence {
+	matches := f.Matches(need, p)
+	n := p.window(len(matches))
+	if n > len(matches) {
+		n = len(matches)
+	}
+	rcm := f.reachability(p.Traversal)
+	w := p.weights()
+
+	var out []Evidence
+	for _, sd := range matches[:n] {
+		for _, cd := range rcm[sd.Doc] {
+			if cd.Candidate != u {
+				continue
+			}
+			out = append(out, Evidence{
+				Resource:     sd.Doc,
+				Relevance:    sd.Score,
+				Distance:     cd.Distance,
+				Contribution: sd.Score * w[cd.Distance],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Contribution != out[j].Contribution {
+			return out[i].Contribution > out[j].Contribution
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// reachability returns the resource→candidates map for a traversal
+// configuration, computing and caching it on first use.
+func (f *Finder) reachability(opts socialgraph.TraversalOptions) map[socialgraph.ResourceID][]socialgraph.CandidateDistance {
+	key := traversalKey(opts)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rcm, ok := f.rcmCache[key]; ok {
+		return rcm
+	}
+	rcm := f.graph.ResourceCandidateMap(f.candidates, opts)
+	f.rcmCache[key] = rcm
+	return rcm
+}
+
+func traversalKey(opts socialgraph.TraversalOptions) string {
+	nets := make([]string, len(opts.Networks))
+	for i, n := range opts.Networks {
+		nets[i] = string(n)
+	}
+	sort.Strings(nets)
+	return fmt.Sprintf("d%d|f%t|%s", opts.MaxDistance, opts.IncludeFriends, strings.Join(nets, ","))
+}

@@ -1,0 +1,103 @@
+// Package corpusio persists complete evaluation corpora — social
+// graph, synthetic Web, queries and ground truth — as (optionally
+// gzip-compressed) JSON, so that a generated dataset can be saved
+// once and reloaded across processes, or hand-edited / replaced by a
+// real crawl with the same schema.
+package corpusio
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"expertfind/internal/dataset"
+)
+
+// formatVersion guards against loading snapshots from incompatible
+// releases.
+const formatVersion = 1
+
+// envelope wraps the dataset snapshot with versioning.
+type envelope struct {
+	Format  string            `json:"format"`
+	Version int               `json:"version"`
+	Corpus  *dataset.Snapshot `json:"corpus"`
+}
+
+// Save writes the dataset to w as JSON.
+func Save(d *dataset.Dataset, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(envelope{
+		Format:  "expertfind-corpus",
+		Version: formatVersion,
+		Corpus:  d.Snapshot(),
+	})
+}
+
+// Load reads a dataset previously written by Save.
+func Load(r io.Reader) (*dataset.Dataset, error) {
+	var env envelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("corpusio: decoding corpus: %w", err)
+	}
+	if env.Format != "expertfind-corpus" {
+		return nil, fmt.Errorf("corpusio: not an expertfind corpus (format %q)", env.Format)
+	}
+	if env.Version != formatVersion {
+		return nil, fmt.Errorf("corpusio: unsupported corpus version %d (supported: %d)", env.Version, formatVersion)
+	}
+	d, err := dataset.FromSnapshot(env.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("corpusio: %w", err)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path; a ".gz" suffix selects gzip
+// compression.
+func SaveFile(d *dataset.Dataset, path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = gz
+	}
+	return Save(d, w)
+}
+
+// LoadFile reads a dataset from path; a ".gz" suffix selects gzip
+// decompression.
+func LoadFile(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("corpusio: opening gzip corpus: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Load(r)
+}

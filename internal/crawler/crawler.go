@@ -1,0 +1,238 @@
+// Package crawler models the Resource Extraction step of the analysis
+// flow (paper §2.3, Fig. 4): collecting social data through the
+// platforms' APIs, subject to the real-world constraints the paper
+// documents — user privacy settings (only 80 of the 13k Facebook
+// friends allowed profile access, §3.3.3), per-container result caps
+// ("for each resource container we retrieved the most recent
+// resources"), and API call budgets.
+//
+// The crawler takes a "remote" social graph (the ground truth living
+// on the platforms) and extracts the partial view an application with
+// a given access policy would actually obtain. Evaluating the expert
+// finder on crawls of decreasing completeness quantifies how robust
+// the method is to the access limits every third-party application
+// faces — the paper notes that platform owners, who see everything,
+// are strictly better positioned (§3.7).
+package crawler
+
+import (
+	"math/rand"
+
+	"expertfind/internal/socialgraph"
+)
+
+// Policy captures the access constraints of a crawl.
+type Policy struct {
+	// ProfileAccessProb is the probability that a non-candidate
+	// user's privacy settings allow reading their profile and
+	// activities (the candidates granted authorization tokens, so
+	// their own data is always accessible). The paper measured ≈0.6%
+	// for Facebook friends; followed accounts are typically public.
+	ProfileAccessProb float64
+	// MaxPerContainer caps how many resources are retrieved per
+	// group or page (the "most recent resources" cap). Zero means no
+	// cap.
+	MaxPerContainer int
+	// MaxAPICalls bounds the total number of API calls; one call
+	// retrieves one user (profile + stream) or one container feed.
+	// Zero means unlimited.
+	MaxAPICalls int
+	// Seed drives the privacy draws, making crawls reproducible.
+	Seed int64
+}
+
+// FullAccess is the policy of a platform owner: everything visible.
+var FullAccess = Policy{ProfileAccessProb: 1}
+
+// Stats reports what a crawl did.
+type Stats struct {
+	APICalls            int
+	UsersVisited        int
+	UsersDenied         int
+	ContainersTruncated int
+	ResourcesCopied     int
+	ResourcesSkipped    int
+}
+
+// Crawl extracts from remote the subgraph visible under policy,
+// starting from the candidate pool. The crawled graph mirrors the
+// remote user table (same UserIDs), so ground truth defined on remote
+// users applies unchanged; resource and container IDs are fresh.
+func Crawl(remote *socialgraph.Graph, policy Policy) (*socialgraph.Graph, Stats) {
+	c := &crawl{
+		remote:       remote,
+		policy:       policy,
+		rng:          rand.New(rand.NewSource(policy.Seed + 1)),
+		out:          socialgraph.New(),
+		resourceMap:  make(map[socialgraph.ResourceID]socialgraph.ResourceID),
+		containerMap: make(map[socialgraph.ContainerID]socialgraph.ContainerID),
+		visited:      make(map[socialgraph.UserID]bool),
+	}
+	c.run()
+	return c.out, c.stats
+}
+
+type crawl struct {
+	remote *socialgraph.Graph
+	policy Policy
+	rng    *rand.Rand
+	out    *socialgraph.Graph
+	stats  Stats
+
+	resourceMap  map[socialgraph.ResourceID]socialgraph.ResourceID
+	containerMap map[socialgraph.ContainerID]socialgraph.ContainerID
+	visited      map[socialgraph.UserID]bool
+}
+
+// spendCall consumes one API call if the budget allows it.
+func (c *crawl) spendCall() bool {
+	if c.policy.MaxAPICalls > 0 && c.stats.APICalls >= c.policy.MaxAPICalls {
+		return false
+	}
+	c.stats.APICalls++
+	return true
+}
+
+func (c *crawl) run() {
+	remote := c.remote
+	for _, u := range remote.Users() {
+		c.out.AddUser(u.Name, u.Candidate)
+	}
+	candidates := remote.Candidates()
+
+	// Phase 1: visit the authorized candidates, then the users they
+	// follow (friends included — whether the matching later uses
+	// friend content is the traversal's decision; the crawler mirrors
+	// the relationship structure it can see). Visiting retrieves the
+	// profile and the container feeds.
+	var accessible []socialgraph.UserID
+	for _, u := range candidates {
+		if c.visitUser(u, true) {
+			accessible = append(accessible, u)
+		}
+	}
+	for _, u := range candidates {
+		for _, net := range socialgraph.Networks {
+			for _, v := range remote.Followed(u, net, true) {
+				c.out.Follows(u, v, net)
+				if remote.FollowsEdge(v, u, net) {
+					c.out.Follows(v, u, net)
+				}
+				if c.visitUser(v, false) {
+					accessible = append(accessible, v)
+				}
+			}
+		}
+	}
+	// Phase 2: follow edges among visited non-candidates, so
+	// distance-2 profile paths (followed-of-followed) survive.
+	for v := range c.visited {
+		for _, net := range socialgraph.Networks {
+			for _, w := range remote.Followed(v, net, true) {
+				if c.visited[w] && !c.out.FollowsEdge(v, w, net) {
+					c.out.Follows(v, w, net)
+				}
+			}
+		}
+	}
+	// Phase 3: streams — owned, created and annotated resources of
+	// every accessible user. This runs after all container feeds are
+	// in, so stream items that also sit in a crawled feed reuse the
+	// feed copy instead of duplicating.
+	for _, u := range accessible {
+		c.copyStreams(u)
+	}
+}
+
+// visitUser performs the access check and retrieves the user's
+// profile and container feeds. It reports whether the user's data is
+// accessible.
+func (c *crawl) visitUser(u socialgraph.UserID, authorized bool) bool {
+	if c.visited[u] {
+		return false // already handled (or denied) once
+	}
+	c.visited[u] = true
+	if !authorized && c.rng.Float64() >= c.policy.ProfileAccessProb {
+		c.stats.UsersDenied++
+		return false
+	}
+	if !c.spendCall() {
+		return false
+	}
+	c.stats.UsersVisited++
+	remote := c.remote
+
+	for _, net := range socialgraph.Networks {
+		if rid, ok := remote.Profile(u, net); ok {
+			r := remote.Resource(rid)
+			c.out.SetProfile(u, net, r.Text, r.URLs...)
+		}
+	}
+	for _, cid := range remote.RelatedContainers(u) {
+		if ncid, ok := c.crawlContainer(cid); ok {
+			c.out.RelatesTo(u, ncid)
+		}
+	}
+	return true
+}
+
+// copyStreams retrieves the directly related resources of an
+// accessible user: created, owned and annotated.
+func (c *crawl) copyStreams(u socialgraph.UserID) {
+	remote := c.remote
+	for _, rid := range remote.OwnedBy(u) {
+		c.out.Owns(u, c.mapOrCopy(rid))
+	}
+	for _, rid := range remote.CreatedBy(u) {
+		c.mapOrCopy(rid) // the creates edge is recorded by the copy
+	}
+	for _, rid := range remote.AnnotatedBy(u) {
+		c.out.Annotates(u, c.mapOrCopy(rid))
+	}
+}
+
+// mapOrCopy returns the crawled copy of a remote resource, cloning it
+// on first use. A resource that lives in a container but was not part
+// of a crawled feed is still retrievable individually (the API serves
+// single posts), so it is copied standalone — its contains edge is
+// simply not visible to the crawl.
+func (c *crawl) mapOrCopy(rid socialgraph.ResourceID) socialgraph.ResourceID {
+	if nid, ok := c.resourceMap[rid]; ok {
+		return nid
+	}
+	r := c.remote.Resource(rid)
+	nid := c.out.AddResource(r.Network, r.Kind, r.Creator, r.Text, r.URLs...)
+	c.resourceMap[rid] = nid
+	c.stats.ResourcesCopied++
+	return nid
+}
+
+// crawlContainer retrieves a container and its most recent resources.
+func (c *crawl) crawlContainer(cid socialgraph.ContainerID) (socialgraph.ContainerID, bool) {
+	if ncid, ok := c.containerMap[cid]; ok {
+		return ncid, true
+	}
+	if !c.spendCall() {
+		return -1, false
+	}
+	remote := c.remote
+	cont := remote.Container(cid)
+	desc := remote.Resource(cont.Desc)
+	ncid := c.out.AddContainer(cont.Network, cont.Kind, desc.Creator, cont.Name, desc.Text)
+	c.containerMap[cid] = ncid
+
+	feed := remote.ContainedResources(cid)
+	keep := len(feed)
+	if c.policy.MaxPerContainer > 0 && keep > c.policy.MaxPerContainer {
+		keep = c.policy.MaxPerContainer
+		c.stats.ContainersTruncated++
+	}
+	for _, rid := range feed[len(feed)-keep:] { // the most recent ones
+		r := remote.Resource(rid)
+		nid := c.out.AddContainedResource(r.Kind, ncid, r.Creator, r.Text, r.URLs...)
+		c.resourceMap[rid] = nid
+		c.stats.ResourcesCopied++
+	}
+	c.stats.ResourcesSkipped += len(feed) - keep
+	return ncid, true
+}

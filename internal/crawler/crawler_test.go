@@ -1,0 +1,138 @@
+package crawler
+
+import (
+	"testing"
+
+	"expertfind/internal/dataset"
+	"expertfind/internal/socialgraph"
+)
+
+func remote(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Config{Seed: 5, Scale: 0.05})
+}
+
+func TestFullAccessPreservesCandidateReach(t *testing.T) {
+	ds := remote(t)
+	crawled, stats := Crawl(ds.Graph, FullAccess)
+
+	if stats.UsersDenied != 0 {
+		t.Errorf("denied %d users under full access", stats.UsersDenied)
+	}
+	if stats.ResourcesSkipped != 0 || stats.ContainersTruncated != 0 {
+		t.Errorf("truncation under full access: %+v", stats)
+	}
+
+	// The crawl reaches everything a candidate-rooted distance-2
+	// traversal reaches: per-candidate hit counts must match.
+	for _, u := range ds.Candidates {
+		want := len(ds.Graph.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		got := len(crawled.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		if got != want {
+			t.Errorf("candidate %d: crawled reach %d, remote reach %d", u, got, want)
+		}
+	}
+}
+
+func TestUserIDsPreserved(t *testing.T) {
+	ds := remote(t)
+	crawled, _ := Crawl(ds.Graph, FullAccess)
+	if crawled.NumUsers() != ds.Graph.NumUsers() {
+		t.Fatalf("user counts differ: %d vs %d", crawled.NumUsers(), ds.Graph.NumUsers())
+	}
+	for _, u := range ds.Graph.Users() {
+		got := crawled.User(u.ID)
+		if got.Name != u.Name || got.Candidate != u.Candidate {
+			t.Fatalf("user %d differs: %+v vs %+v", u.ID, got, u)
+		}
+	}
+}
+
+func TestPrivacyDeniesNonCandidates(t *testing.T) {
+	ds := remote(t)
+	crawled, stats := Crawl(ds.Graph, Policy{ProfileAccessProb: 0, Seed: 1})
+
+	if stats.UsersDenied == 0 {
+		t.Fatal("nobody denied at access probability 0")
+	}
+	// Candidates are authorized regardless: their profiles exist.
+	for _, u := range ds.Candidates {
+		if _, ok := crawled.Profile(u, socialgraph.Facebook); !ok {
+			t.Errorf("candidate %d lost their profile", u)
+		}
+	}
+	// Reach shrinks: zero external access removes followed users'
+	// content, so distance-2 hits must drop for some candidate.
+	shrunk := false
+	for _, u := range ds.Candidates {
+		a := len(crawled.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		b := len(ds.Graph.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		if a < b {
+			shrunk = true
+		}
+		if a > b {
+			t.Fatalf("candidate %d gained reach under privacy: %d > %d", u, a, b)
+		}
+	}
+	if !shrunk {
+		t.Error("privacy had no effect on reach")
+	}
+}
+
+func TestContainerCap(t *testing.T) {
+	ds := remote(t)
+	policy := FullAccess
+	policy.MaxPerContainer = 2
+	crawled, stats := Crawl(ds.Graph, policy)
+
+	for i := 0; i < crawled.NumContainers(); i++ {
+		if n := len(crawled.ContainedResources(socialgraph.ContainerID(i))); n > 2 {
+			t.Fatalf("container %d kept %d resources, cap 2", i, n)
+		}
+	}
+	if stats.ResourcesSkipped == 0 {
+		t.Error("no resources skipped despite the cap")
+	}
+}
+
+func TestAPIBudget(t *testing.T) {
+	ds := remote(t)
+	policy := FullAccess
+	policy.MaxAPICalls = 10
+	_, stats := Crawl(ds.Graph, policy)
+	if stats.APICalls > 10 {
+		t.Errorf("API calls %d exceed budget", stats.APICalls)
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	ds := remote(t)
+	policy := Policy{ProfileAccessProb: 0.5, Seed: 9}
+	a, sa := Crawl(ds.Graph, policy)
+	b, sb := Crawl(ds.Graph, policy)
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	if a.NumResources() != b.NumResources() {
+		t.Fatalf("resource counts differ: %d vs %d", a.NumResources(), b.NumResources())
+	}
+}
+
+func TestPartialAccessInBetween(t *testing.T) {
+	ds := remote(t)
+	full, _ := Crawl(ds.Graph, FullAccess)
+	half, _ := Crawl(ds.Graph, Policy{ProfileAccessProb: 0.5, Seed: 3})
+	none, _ := Crawl(ds.Graph, Policy{ProfileAccessProb: 0, Seed: 3})
+
+	reach := func(g *socialgraph.Graph) int {
+		total := 0
+		for _, u := range ds.Candidates {
+			total += len(g.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		}
+		return total
+	}
+	rf, rh, rn := reach(full), reach(half), reach(none)
+	if !(rn < rh && rh < rf) {
+		t.Errorf("reach not monotone in access: none=%d half=%d full=%d", rn, rh, rf)
+	}
+}

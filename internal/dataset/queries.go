@@ -1,0 +1,59 @@
+package dataset
+
+import "expertfind/internal/kb"
+
+// Queries returns the 30 expertise needs of the evaluation (§3.1),
+// formulated as textual queries spanning the seven domains. The seven
+// example queries quoted in the paper are included verbatim (query
+// IDs 1, 5, 9, 13, 17, 22 and 26).
+func Queries() []Query {
+	qs := []Query{
+		// Computer engineering
+		{Text: "Which PHP function can I use in order to obtain the length of a string?", Domain: kb.ComputerEngineering},
+		{Text: "How do I write a regular expression to validate an email address in JavaScript?", Domain: kb.ComputerEngineering},
+		{Text: "What is the best way to add an index to a huge MySQL database table?", Domain: kb.ComputerEngineering},
+		{Text: "My Linux server keeps crashing, how do I debug the Apache error log?", Domain: kb.ComputerEngineering},
+
+		// Location
+		{Text: "Can you list some restaurants in Milan?", Domain: kb.Location},
+		{Text: "What are the best places to visit in Paris near the Eiffel Tower?", Domain: kb.Location},
+		{Text: "Which district of Berlin is worth a trip for a weekend vacation?", Domain: kb.Location},
+		{Text: "Can you suggest a hotel near Lake Como with a nice view of the mountains?", Domain: kb.Location},
+
+		// Movies & tv
+		{Text: "Can you list some famous actors in how I met your mother?", Domain: kb.MoviesTV},
+		{Text: "Which Quentin Tarantino movie should I watch first?", Domain: kb.MoviesTV},
+		{Text: "Is the final season of Breaking Bad worth watching?", Domain: kb.MoviesTV},
+		{Text: "What are the best films directed by Christopher Nolan?", Domain: kb.MoviesTV},
+
+		// Music
+		{Text: "Can you list some famous songs of Michael Jackson?", Domain: kb.Music},
+		{Text: "Which album of the Beatles should I listen to first?", Domain: kb.Music},
+		{Text: "Who plays the guitar solo in that famous Queen song?", Domain: kb.Music},
+		{Text: "What is a good Mozart piece for someone new to classical music?", Domain: kb.Music},
+
+		// Science
+		{Text: "Why is copper a good conductor?", Domain: kb.Science},
+		{Text: "How does DNA carry the genetic information of a cell?", Domain: kb.Science},
+		{Text: "What did the CERN experiment discover about the Higgs boson particle?", Domain: kb.Science},
+		{Text: "Can someone explain the theory of relativity in simple words?", Domain: kb.Science},
+		{Text: "Why is mercury used in thermometers although the element is toxic?", Domain: kb.Science},
+
+		// Sport
+		{Text: "Can you list some famous European football teams?", Domain: kb.Sport},
+		{Text: "Who is the best at freestyle swimming after Michael Phelps?", Domain: kb.Sport},
+		{Text: "Which team will win the Champions League this season?", Domain: kb.Sport},
+		{Text: "Is Roger Federer or Rafael Nadal the greatest tennis player ever?", Domain: kb.Sport},
+
+		// Technology & videogames
+		{Text: "I am looking for a graphic card to play Diablo 3 but I don't want to spend too much. What do you suggest?", Domain: kb.Technology},
+		{Text: "Which gaming console should I buy, PlayStation or Xbox?", Domain: kb.Technology},
+		{Text: "Is a solid state drive worth the upgrade for an old laptop?", Domain: kb.Technology},
+		{Text: "What are the best raid strategies in World of Warcraft?", Domain: kb.Technology},
+		{Text: "Should I pick an iPhone or an Android smartphone as my next device?", Domain: kb.Technology},
+	}
+	for i := range qs {
+		qs[i].ID = i + 1
+	}
+	return qs
+}

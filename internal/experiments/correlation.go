@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"expertfind/internal/metrics"
+)
+
+// CorrelationRow is one resource-distance level of the correlation
+// analysis.
+type CorrelationRow struct {
+	Distance int
+	// MatchesVsDelta correlates, across queries, the number of
+	// matching resources with Δ (retrieved − expected experts).
+	MatchesVsDelta float64
+	// MatchesVsAP correlates the number of matching resources with
+	// the query's average precision.
+	MatchesVsAP float64
+	// MeanMatches is the average number of matching resources per
+	// query at this distance.
+	MeanMatches float64
+}
+
+// Correlation completes the analysis the paper defers to future work
+// (§3.7, last paragraph): "a more complete analysis of such
+// correlation" between the amount of considered resources and the
+// system's ability to retrieve experts. For each resource distance it
+// reports the Pearson correlation, over the 30 queries, between the
+// number of matching resources and (a) the retrieval surplus Δ of
+// Fig. 11 and (b) the retrieval quality (AP).
+type Correlation struct {
+	Rows []CorrelationRow
+}
+
+// RunCorrelation computes the per-distance correlations.
+func RunCorrelation(s *System) *Correlation {
+	out := &Correlation{}
+	for dist := 0; dist <= 2; dist++ {
+		p := networkParams(nil, dist)
+		var matches, deltas, aps []float64
+		for _, q := range s.DS.Queries {
+			need := s.need(q)
+			m := s.Finder.Matches(need, p)
+			experts := s.Finder.RankFromMatches(m, p)
+			ap, _, _, _ := s.queryEval(q, rankedUsers(experts))
+			matches = append(matches, float64(len(m)))
+			deltas = append(deltas, float64(len(experts)-len(s.DS.Experts(q.Domain))))
+			aps = append(aps, ap)
+		}
+		out.Rows = append(out.Rows, CorrelationRow{
+			Distance:       dist,
+			MatchesVsDelta: metrics.PearsonCorrelation(matches, deltas),
+			MatchesVsAP:    metrics.PearsonCorrelation(matches, aps),
+			MeanMatches:    metrics.Mean(matches),
+		})
+	}
+	return out
+}
+
+// String renders the correlations.
+func (c *Correlation) String() string {
+	var b strings.Builder
+	b.WriteString("Correlation — matching resources vs retrieval reach and quality (the paper's deferred analysis)\n")
+	fmt.Fprintf(&b, "%-6s %14s %16s %14s\n", "dist", "mean matches", "corr(matches,Δ)", "corr(matches,AP)")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%-6d %14.1f %16.4f %14.4f\n", r.Distance, r.MeanMatches, r.MatchesVsDelta, r.MatchesVsAP)
+	}
+	return b.String()
+}

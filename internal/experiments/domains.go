@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"expertfind/internal/kb"
+)
+
+// Table4Cell holds the three per-domain measures the paper reports.
+type Table4Cell struct {
+	MAP, MRR, NDCG10 float64
+}
+
+// Table4Row is one (domain, distance) row with the four sources.
+type Table4Row struct {
+	Domain   kb.Domain
+	Distance int
+	// Cells indexes by source in NetworkConfigs order: All, FB, TW, LI.
+	Cells [4]Table4Cell
+}
+
+// Table4 is the per-domain breakdown (paper §3.6, Table 4): MAP, MRR
+// and NDCG@10 for every domain, distance and social network. The
+// paper's qualitative findings: Twitter leads in computer engineering,
+// science, sport and technology & games; Facebook is strong in
+// location, music, sport and movies & tv; LinkedIn trails everywhere
+// but scores notably at distance 0 in computer engineering thanks to
+// its career profiles.
+type Table4 struct {
+	Rows []Table4Row
+}
+
+// RunTable4 evaluates every (domain, distance, source) cell.
+func RunTable4(s *System) *Table4 {
+	out := &Table4{}
+	for _, dom := range kb.Domains {
+		qs := s.DS.QueriesInDomain(dom)
+		for dist := 0; dist <= 2; dist++ {
+			row := Table4Row{Domain: dom, Distance: dist}
+			for ci, cfg := range NetworkConfigs {
+				m := s.EvaluateQueries(qs, networkParams(cfg.Networks, dist))
+				row.Cells[ci] = Table4Cell{MAP: m.MAP, MRR: m.MRR, NDCG10: m.NDCG10}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// String renders Table 4 in the paper's layout (MAP | MRR | NDCG@10,
+// each split by All/FB/TW/LI).
+func (t *Table4) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4 — per-domain metrics (window 100, alpha 0.6)\n")
+	fmt.Fprintf(&b, "%-22s %-4s |%28s |%28s |%28s\n", "domain", "dist",
+		"MAP  All    FB    TW    LI", "MRR  All    FB    TW    LI", "N@10 All    FB    TW    LI")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s %-4d |", r.Domain, r.Distance)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %5.3f", c.MAP)
+		}
+		b.WriteString("      |")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %5.3f", c.MRR)
+		}
+		b.WriteString("      |")
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %5.3f", c.NDCG10)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Cell returns the cell for a domain, distance and source label.
+func (t *Table4) Cell(dom kb.Domain, dist int, source string) (Table4Cell, bool) {
+	si := -1
+	for i, cfg := range NetworkConfigs {
+		if cfg.Label == source {
+			si = i
+		}
+	}
+	if si < 0 {
+		return Table4Cell{}, false
+	}
+	for _, r := range t.Rows {
+		if r.Domain == dom && r.Distance == dist {
+			return r.Cells[si], true
+		}
+	}
+	return Table4Cell{}, false
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"expertfind/internal/kb"
+	"expertfind/internal/metrics"
+	"expertfind/internal/socialgraph"
+)
+
+// Fig5a is the distribution of resources and expert candidates among
+// the social networks, per resource distance (paper Fig. 5a).
+type Fig5a struct {
+	Candidates int
+	Counts     map[socialgraph.Network][3]int
+	Indexed    int // resources surviving the language filter
+	Total      int // all generated resources
+}
+
+// RunFig5a computes the corpus distribution.
+func RunFig5a(s *System) *Fig5a {
+	return &Fig5a{
+		Candidates: len(s.DS.Candidates),
+		Counts: s.DS.Graph.DistanceCounts(s.DS.Candidates,
+			socialgraph.TraversalOptions{MaxDistance: 2}),
+		Indexed: s.Kept,
+		Total:   s.DS.Graph.NumResources(),
+	}
+}
+
+// String renders the Fig. 5a distribution as a table.
+func (f *Fig5a) String() string {
+	var b strings.Builder
+	if f.Indexed > 0 {
+		fmt.Fprintf(&b, "Fig 5a — corpus distribution (%d expert candidates; %d resources generated, %d English and indexed)\n",
+			f.Candidates, f.Total, f.Indexed)
+	} else {
+		fmt.Fprintf(&b, "Fig 5a — corpus distribution (%d expert candidates; %d resources generated)\n",
+			f.Candidates, f.Total)
+	}
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "network", "dist0", "dist1", "dist2", "total")
+	for _, net := range socialgraph.Networks {
+		c := f.Counts[net]
+		fmt.Fprintf(&b, "%-10s %10d %10d %10d %10d\n", net, c[0], c[1], c[2], c[0]+c[1]+c[2])
+	}
+	return b.String()
+}
+
+// Fig5bRow is one domain of Fig. 5b.
+type Fig5bRow struct {
+	Domain       kb.Domain
+	Experts      int
+	AvgExpertise float64 // mean Likert level over all candidates
+}
+
+// Fig5b is the distribution of experts and expertise in the domains
+// (paper Fig. 5b: on average 17 experts per domain, mean expertise
+// 3.57).
+type Fig5b struct {
+	Rows            []Fig5bRow
+	AvgExpertsRow   float64
+	AvgExpertiseAll float64
+}
+
+// RunFig5b computes the ground-truth distribution.
+func RunFig5b(s *System) *Fig5b {
+	out := &Fig5b{}
+	var expertCounts, levels []float64
+	for _, dom := range kb.Domains {
+		experts := len(s.DS.Experts(dom))
+		sum := 0.0
+		for _, u := range s.DS.Candidates {
+			sum += float64(s.DS.Level(u, dom))
+		}
+		avg := sum / float64(len(s.DS.Candidates))
+		out.Rows = append(out.Rows, Fig5bRow{Domain: dom, Experts: experts, AvgExpertise: avg})
+		expertCounts = append(expertCounts, float64(experts))
+		levels = append(levels, avg)
+	}
+	out.AvgExpertsRow = metrics.Mean(expertCounts)
+	out.AvgExpertiseAll = metrics.Mean(levels)
+	return out
+}
+
+// String renders the Fig. 5b distribution as a table.
+func (f *Fig5b) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5b — experts and expertise per domain (avg experts %.1f, avg expertise %.2f)\n",
+		f.AvgExpertsRow, f.AvgExpertiseAll)
+	fmt.Fprintf(&b, "%-22s %10s %14s\n", "domain", "experts", "avg expertise")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-22s %10d %14.2f\n", r.Domain, r.Experts, r.AvgExpertise)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"expertfind/internal/core"
+	"expertfind/internal/socialgraph"
+)
+
+// Table2Row is one configuration of the Twitter friends experiment.
+type Table2Row struct {
+	Distance int
+	Friends  bool
+	M        Metrics
+}
+
+// Table2 is the relevance of friendship relations (paper §3.3.3,
+// Table 2): results on Twitter with and without the resources of
+// friend users (bidirectional follows) at distance 1 and 2, window
+// 100, α = 0.6. The paper finds at most a ~1% improvement at distance
+// 1 and a slight degradation at distance 2 — friends do not share the
+// candidate's expertise.
+type Table2 struct {
+	Random Metrics
+	Rows   []Table2Row
+}
+
+func twitterParams(dist int, friends bool) core.Params {
+	return core.Params{
+		Alpha:      core.DefaultAlpha,
+		WindowSize: core.DefaultWindowSize,
+		Traversal: socialgraph.TraversalOptions{
+			MaxDistance:    dist,
+			Networks:       []socialgraph.Network{socialgraph.Twitter},
+			IncludeFriends: friends,
+		},
+	}
+}
+
+// RunTable2 evaluates the four Twitter configurations.
+func RunTable2(s *System) *Table2 {
+	out := &Table2{Random: s.RandomBaseline()}
+	for _, dist := range []int{1, 2} {
+		for _, friends := range []bool{false, true} {
+			out.Rows = append(out.Rows, Table2Row{
+				Distance: dist,
+				Friends:  friends,
+				M:        s.Evaluate(twitterParams(dist, friends)),
+			})
+		}
+	}
+	return out
+}
+
+// String renders Table 2.
+func (t *Table2) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — Twitter friend relationships (window 100, alpha 0.6)\n")
+	fmt.Fprintf(&b, "%-6s %-7s %8s %8s %8s %8s\n", "dist", "friends", "MAP", "MRR", "NDCG", "NDCG@10")
+	fmt.Fprintf(&b, "%-6s %-7s %8.4f %8.4f %8.4f %8.4f\n", "rand", "-", t.Random.MAP, t.Random.MRR, t.Random.NDCG, t.Random.NDCG10)
+	for _, r := range t.Rows {
+		yn := "N"
+		if r.Friends {
+			yn = "Y"
+		}
+		fmt.Fprintf(&b, "%-6d %-7s %8.4f %8.4f %8.4f %8.4f\n", r.Distance, yn, r.M.MAP, r.M.MRR, r.M.NDCG, r.M.NDCG10)
+	}
+	return b.String()
+}
+
+// CurveSet is one plotted series: an 11-point interpolated
+// precision/recall curve and a DCG@k curve (k = 1..20, graded gains
+// summed over queries).
+type CurveSet struct {
+	Label    string
+	ElevenPt [11]float64
+	DCG      []float64
+}
+
+// Fig8 contains the curves of the friends experiment (paper Fig. 8):
+// 11-point precision and DCG for distance 1 and 2, with and without
+// friend resources, plus the random reference.
+type Fig8 struct {
+	Curves []CurveSet
+}
+
+const dcgCurveMaxK = 20
+
+// RunFig8 computes the Fig. 8 curves.
+func RunFig8(s *System) *Fig8 {
+	out := &Fig8{}
+	for _, cfg := range []struct {
+		label   string
+		dist    int
+		friends bool
+	}{
+		{"dist1 w/o friends", 1, false},
+		{"dist1 w/ friends", 1, true},
+		{"dist2 w/o friends", 2, false},
+		{"dist2 w/ friends", 2, true},
+	} {
+		rank := s.paramsRankFunc(twitterParams(cfg.dist, cfg.friends))
+		out.Curves = append(out.Curves, CurveSet{
+			Label:    cfg.label,
+			ElevenPt: s.elevenPointAvg(s.DS.Queries, rank),
+			DCG:      s.dcgCurve(s.DS.Queries, dcgCurveMaxK, rank),
+		})
+	}
+	rank := s.randomRankFunc()
+	out.Curves = append(out.Curves, CurveSet{
+		Label:    "random",
+		ElevenPt: s.elevenPointAvg(s.DS.Queries, rank),
+		DCG:      s.dcgCurve(s.DS.Queries, dcgCurveMaxK, s.randomRankFunc()),
+	})
+	return out
+}
+
+// String renders the curve values.
+func (f *Fig8) String() string {
+	return renderCurves("Fig 8 — Twitter friends curves", f.Curves)
+}
+
+// renderCurves prints a set of 11-point and DCG curves.
+func renderCurves(title string, curves []CurveSet) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("11-point interpolated precision (recall 0.0 .. 1.0):\n")
+	for _, c := range curves {
+		fmt.Fprintf(&b, "  %-18s", c.Label)
+		for _, v := range c.ElevenPt {
+			fmt.Fprintf(&b, " %5.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("DCG at k = 5, 10, 15, 20 (graded gains, summed over queries):\n")
+	for _, c := range curves {
+		fmt.Fprintf(&b, "  %-18s", c.Label)
+		for _, k := range []int{5, 10, 15, 20} {
+			if k <= len(c.DCG) {
+				fmt.Fprintf(&b, " %7.1f", c.DCG[k-1])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"expertfind/internal/core"
+	"expertfind/internal/socialgraph"
+)
+
+// NetworkConfig identifies a source configuration of Table 3: all
+// networks combined, or one network alone.
+type NetworkConfig struct {
+	Label    string
+	Networks []socialgraph.Network // nil = all
+}
+
+// NetworkConfigs lists the four source configurations in the paper's
+// order.
+var NetworkConfigs = []NetworkConfig{
+	{Label: "All", Networks: nil},
+	{Label: "FB", Networks: []socialgraph.Network{socialgraph.Facebook}},
+	{Label: "TW", Networks: []socialgraph.Network{socialgraph.Twitter}},
+	{Label: "LI", Networks: []socialgraph.Network{socialgraph.LinkedIn}},
+}
+
+// Table3Row is one (source, distance) configuration.
+type Table3Row struct {
+	Source   string
+	Distance int
+	M        Metrics
+}
+
+// Table3 is the contribution of resource distance and of each social
+// network (paper §3.4–3.5, Table 3): metrics for All/FB/TW/LI at
+// distances 0, 1 and 2. The paper's findings: distance-0 (profiles
+// only) falls below the random baseline; adding distances 1 and 2
+// improves every metric; Twitter at distance 2 wins three metrics out
+// of four; Facebook has the best MRR; LinkedIn is the weakest.
+type Table3 struct {
+	Random Metrics
+	Rows   []Table3Row
+}
+
+func networkParams(nets []socialgraph.Network, dist int) core.Params {
+	return core.Params{
+		Alpha:      core.DefaultAlpha,
+		WindowSize: core.DefaultWindowSize,
+		Traversal:  socialgraph.TraversalOptions{MaxDistance: dist, Networks: nets},
+	}
+}
+
+// RunTable3 evaluates all (source, distance) configurations.
+func RunTable3(s *System) *Table3 {
+	out := &Table3{Random: s.RandomBaseline()}
+	for _, cfg := range NetworkConfigs {
+		for dist := 0; dist <= 2; dist++ {
+			out.Rows = append(out.Rows, Table3Row{
+				Source:   cfg.Label,
+				Distance: dist,
+				M:        s.Evaluate(networkParams(cfg.Networks, dist)),
+			})
+		}
+	}
+	return out
+}
+
+// String renders Table 3.
+func (t *Table3) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — networks and distances (window 100, alpha 0.6)\n")
+	fmt.Fprintf(&b, "%-6s %-5s %8s %8s %8s %8s\n", "SN", "dist", "MAP", "MRR", "NDCG", "NDCG@10")
+	fmt.Fprintf(&b, "%-6s %-5s %8.4f %8.4f %8.4f %8.4f\n", "Random", "-", t.Random.MAP, t.Random.MRR, t.Random.NDCG, t.Random.NDCG10)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-6s %-5d %8.4f %8.4f %8.4f %8.4f\n", r.Source, r.Distance, r.M.MAP, r.M.MRR, r.M.NDCG, r.M.NDCG10)
+	}
+	return b.String()
+}
+
+// Fig9 contains the all-network curves per distance (paper Fig. 9):
+// 11-point interpolated precision and DCG for distances 0, 1 and 2
+// over all social networks, plus the random reference.
+type Fig9 struct {
+	Curves []CurveSet
+}
+
+// RunFig9 computes the Fig. 9 curves.
+func RunFig9(s *System) *Fig9 {
+	out := &Fig9{}
+	for dist := 0; dist <= 2; dist++ {
+		rank := s.paramsRankFunc(networkParams(nil, dist))
+		out.Curves = append(out.Curves, CurveSet{
+			Label:    fmt.Sprintf("distance %d", dist),
+			ElevenPt: s.elevenPointAvg(s.DS.Queries, rank),
+			DCG:      s.dcgCurve(s.DS.Queries, dcgCurveMaxK, rank),
+		})
+	}
+	out.Curves = append(out.Curves, CurveSet{
+		Label:    "random",
+		ElevenPt: s.elevenPointAvg(s.DS.Queries, s.randomRankFunc()),
+		DCG:      s.dcgCurve(s.DS.Queries, dcgCurveMaxK, s.randomRankFunc()),
+	})
+	return out
+}
+
+// String renders the curve values.
+func (f *Fig9) String() string {
+	return renderCurves("Fig 9 — all networks, per-distance curves", f.Curves)
+}

@@ -1,0 +1,181 @@
+// Package experiments reproduces every table and figure of the
+// paper's experimental evaluation (§3) over the synthetic corpus:
+//
+//	Fig. 5a/5b  dataset distributions
+//	Fig. 6      window-size sensitivity
+//	Fig. 7      α sensitivity
+//	Table 2 / Fig. 8   Twitter friend resources
+//	Table 3 / Fig. 9   per-network, per-distance metrics and curves
+//	Table 4     per-domain breakdown
+//	Fig. 10     per-candidate F1 vs. available resources
+//	Fig. 11     differential number of retrieved experts
+//
+// Each experiment is a function from a System (dataset + analyzed
+// index + expert finder) to a result value that renders the paper's
+// rows/series as text via its String method.
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/index"
+	"expertfind/internal/socialgraph"
+)
+
+// System bundles everything the experiments need: the generated
+// dataset, the analyzed resource index and the expert finder.
+type System struct {
+	DS     *dataset.Dataset
+	Finder *core.Finder
+	// Kept is the number of resources that survived the language
+	// filter and were indexed.
+	Kept int
+
+	needMu   sync.Mutex
+	needByID map[int]analysis.Analyzed
+}
+
+// BuildSystem generates the dataset for cfg and indexes its corpus
+// through the full analysis pipeline (URL enrichment and English-only
+// filtering active, as in the paper).
+func BuildSystem(cfg dataset.Config) *System {
+	return BuildSystemWith(cfg, analysis.Options{})
+}
+
+// BuildSystemWith is BuildSystem with pipeline overrides, used by the
+// ablation benchmarks (disabling stemming, stop words, ...). The
+// dataset's synthetic Web is installed when opts.Web is nil; use
+// BuildSystemNoURL to disable URL enrichment instead.
+func BuildSystemWith(cfg dataset.Config, opts analysis.Options) *System {
+	ds := dataset.Generate(cfg)
+	if opts.Web == nil {
+		opts.Web = ds.Web
+	}
+	return buildFromDataset(ds, opts)
+}
+
+// BuildSystemNoURL builds a system with URL content extraction
+// disabled (the enrichment ablation).
+func BuildSystemNoURL(cfg dataset.Config) *System {
+	ds := dataset.Generate(cfg)
+	return buildFromDataset(ds, analysis.Options{Web: nil})
+}
+
+// BuildSystemFromDataset indexes an existing dataset (e.g. one loaded
+// from a corpus snapshot) through the full analysis pipeline.
+func BuildSystemFromDataset(ds *dataset.Dataset) *System {
+	return buildFromDataset(ds, analysis.Options{Web: ds.Web})
+}
+
+// BuildSystemWithIndex assembles a system from a dataset and a
+// pre-built index (loaded from a binary segment), skipping analysis.
+// The pipeline is still constructed for analyzing incoming needs.
+func BuildSystemWithIndex(ds *dataset.Dataset, ix *index.Index) *System {
+	pipe := analysis.New(analysis.Options{Web: ds.Web})
+	return &System{
+		DS:       ds,
+		Finder:   core.NewFinder(ds.Graph, ix, pipe, ds.Candidates),
+		Kept:     ix.NumDocs(),
+		needByID: make(map[int]analysis.Analyzed),
+	}
+}
+
+func buildFromDataset(ds *dataset.Dataset, opts analysis.Options) *System {
+	pipe := analysis.New(opts)
+	g := ds.Graph
+	n := g.NumResources()
+
+	// The analysis pipeline is stateless and the corpus large, so
+	// resources are analyzed in parallel; the index itself is built
+	// sequentially afterwards (its scoring is insertion-order
+	// invariant, but keeping the build single-writer keeps the index
+	// free of locks).
+	type result struct {
+		a  analysis.Analyzed
+		ok bool
+	}
+	results := make([]result, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n && n > 0 {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				r := g.Resource(socialgraph.ResourceID(i))
+				a, ok := pipe.Analyze(r.Text, r.URLs)
+				results[i] = result{a: a, ok: ok}
+			}
+		}()
+	}
+	wg.Wait()
+
+	ix := index.New()
+	kept := 0
+	for i, res := range results {
+		if res.ok {
+			ix.Add(socialgraph.ResourceID(i), res.a)
+			kept++
+		}
+	}
+	return &System{
+		DS:       ds,
+		Finder:   core.NewFinder(g, ix, pipe, ds.Candidates),
+		Kept:     kept,
+		needByID: make(map[int]analysis.Analyzed),
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedSys  *System
+)
+
+// Shared returns the default full-scale system (seed 1, 40
+// candidates, scale 1), built once per process; all experiments and
+// benchmarks share it.
+func Shared() *System {
+	sharedOnce.Do(func() { sharedSys = BuildSystem(dataset.Config{}) })
+	return sharedSys
+}
+
+// need returns the analyzed form of a query, memoized.
+func (s *System) need(q dataset.Query) analysis.Analyzed {
+	s.needMu.Lock()
+	defer s.needMu.Unlock()
+	if a, ok := s.needByID[q.ID]; ok {
+		return a
+	}
+	a := s.Finder.Pipeline().AnalyzeNeed(q.Text)
+	s.needByID[q.ID] = a
+	return a
+}
+
+// randomRanking returns one random selection of k candidates in
+// random order, the paper's baseline unit (§3.1: 10 runs of 20
+// randomly selected users per query).
+func randomRanking(r *rand.Rand, candidates []socialgraph.UserID, k int) []socialgraph.UserID {
+	perm := r.Perm(len(candidates))
+	if k > len(perm) {
+		k = len(perm)
+	}
+	out := make([]socialgraph.UserID, k)
+	for i := 0; i < k; i++ {
+		out[i] = candidates[perm[i]]
+	}
+	return out
+}

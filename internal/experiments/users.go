@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"expertfind/internal/core"
+	"expertfind/internal/metrics"
+	"expertfind/internal/socialgraph"
+)
+
+// Fig10Row is one expert candidate of Fig. 10.
+type Fig10Row struct {
+	User      socialgraph.UserID
+	F1        float64
+	Resources int // resources reachable at distance ≤ 2
+}
+
+// Fig10 relates each candidate's estimation quality to the amount of
+// social information available for them (paper §3.7, Fig. 10). The
+// per-user F1 counts, over the 30 queries, how often the system's
+// top-20 retrieval agrees with the ground truth. The paper observes 6
+// candidates above 0.70, 8 completely unreliable (the silent experts),
+// and a positive correlation with the number of published resources.
+type Fig10 struct {
+	Rows        []Fig10Row
+	MeanF1      float64
+	MedianF1    float64
+	Correlation float64 // Pearson between resources and F1
+	Intercept   float64 // regression F1 = Intercept + Slope·resources
+	Slope       float64
+}
+
+// fig10TopK is the retrieval cutoff used for the per-user confusion
+// counts, matching the 20-user selections used by the baseline.
+const fig10TopK = 20
+
+// RunFig10 computes the per-candidate F1 analysis under the default
+// configuration (all networks, distance 2, window 100, α = 0.6).
+func RunFig10(s *System) *Fig10 {
+	p := networkParams(nil, 2)
+	tp := make(map[socialgraph.UserID]int)
+	fp := make(map[socialgraph.UserID]int)
+	fn := make(map[socialgraph.UserID]int)
+
+	for _, q := range s.DS.Queries {
+		experts := s.Finder.FindAnalyzed(s.need(q), p)
+		retrieved := make(map[socialgraph.UserID]bool)
+		for i, e := range experts {
+			if i >= fig10TopK {
+				break
+			}
+			retrieved[e.User] = true
+		}
+		for _, u := range s.DS.Candidates {
+			isExp := s.DS.IsExpert(u, q.Domain)
+			switch {
+			case retrieved[u] && isExp:
+				tp[u]++
+			case retrieved[u] && !isExp:
+				fp[u]++
+			case !retrieved[u] && isExp:
+				fn[u]++
+			}
+		}
+	}
+
+	out := &Fig10{}
+	var f1s, res []float64
+	for _, u := range s.DS.Candidates {
+		prec, rec := metrics.PrecisionRecall(tp[u], tp[u]+fp[u], tp[u]+fn[u])
+		f1 := metrics.F1(prec, rec)
+		n := len(s.DS.Graph.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		out.Rows = append(out.Rows, Fig10Row{User: u, F1: f1, Resources: n})
+		f1s = append(f1s, f1)
+		res = append(res, float64(n))
+	}
+	out.MeanF1 = metrics.Mean(f1s)
+	sorted := append([]float64(nil), f1s...)
+	sort.Float64s(sorted)
+	out.MedianF1 = sorted[len(sorted)/2]
+	out.Correlation = metrics.PearsonCorrelation(res, f1s)
+	out.Intercept, out.Slope = metrics.LinearRegression(res, f1s)
+	return out
+}
+
+// String renders the per-user relationship.
+func (f *Fig10) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 10 — per-candidate F1 vs available resources (mean %.3f, median %.3f, corr %.3f)\n",
+		f.MeanF1, f.MedianF1, f.Correlation)
+	fmt.Fprintf(&b, "regression: F1 = %.4f + %.6f * resources\n", f.Intercept, f.Slope)
+	fmt.Fprintf(&b, "%-14s %8s %10s\n", "candidate", "F1", "resources")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "candidate-%02d   %8.3f %10d\n", int(r.User)+1, r.F1, r.Resources)
+	}
+	return b.String()
+}
+
+// Fig11Row is one query of Fig. 11.
+type Fig11Row struct {
+	Query int
+	// Delta is, per distance 0..2, the number of retrieved experts
+	// minus the number of expected experts in the ground truth.
+	Delta [3]int
+}
+
+// Fig11 is the differential number of retrieved experts (paper §3.7,
+// Fig. 11): Δ between how many candidates the system retrieves and how
+// many the ground truth expects, per query and resource distance. The
+// paper notes the clear correlation between the amount of considered
+// resources and retrieval reach: at distance 2, about a third of
+// questions remain under-represented while a handful are
+// over-represented.
+type Fig11 struct {
+	Rows []Fig11Row
+	Avg  [3]float64
+}
+
+// RunFig11 computes the retrieval deltas.
+func RunFig11(s *System) *Fig11 {
+	out := &Fig11{}
+	for _, q := range s.DS.Queries {
+		row := Fig11Row{Query: q.ID}
+		expected := len(s.DS.Experts(q.Domain))
+		for dist := 0; dist <= 2; dist++ {
+			p := core.Params{
+				Alpha:      core.DefaultAlpha,
+				WindowSize: core.DefaultWindowSize,
+				Traversal:  socialgraph.TraversalOptions{MaxDistance: dist},
+			}
+			retrieved := len(s.Finder.FindAnalyzed(s.need(q), p))
+			row.Delta[dist] = retrieved - expected
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for dist := 0; dist <= 2; dist++ {
+		sum := 0.0
+		for _, r := range out.Rows {
+			sum += float64(r.Delta[dist])
+		}
+		out.Avg[dist] = sum / float64(len(out.Rows))
+	}
+	return out
+}
+
+// String renders the deltas.
+func (f *Fig11) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 11 — differential retrieved experts (avg d0 %.1f, d1 %.1f, d2 %.1f)\n",
+		f.Avg[0], f.Avg[1], f.Avg[2])
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s\n", "query", "Δ dist0", "Δ dist1", "Δ dist2")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-6d %8d %8d %8d\n", r.Query, r.Delta[0], r.Delta[1], r.Delta[2])
+	}
+	return b.String()
+}

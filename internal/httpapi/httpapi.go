@@ -1,0 +1,227 @@
+// Package httpapi exposes an expert finding System over HTTP with a
+// small JSON API, so the expert selection service can back Web
+// applications the way the paper envisions (crowd-searching front
+// ends, question routers, recommendation systems).
+//
+// Endpoints:
+//
+//	GET /healthz                 liveness probe
+//	GET /v1/stats                corpus statistics
+//	GET /v1/domains              known expertise domains
+//	GET /v1/queries              the evaluation query set
+//	GET /v1/experts?domain=D     ground-truth experts of a domain
+//	GET /v1/find?q=...           ranked experts for an expertise need
+//	GET /v1/bestnetwork?q=...    best platform + per-network rankings
+//
+// /v1/find accepts the optional parameters alpha (0..1), distance
+// (0..2), window (int, 0 = no truncation), networks (comma-separated),
+// friends (bool) and top (int).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"expertfind"
+)
+
+// Handler serves the JSON API over a System.
+type Handler struct {
+	sys *expertfind.System
+	mux *http.ServeMux
+}
+
+// New returns the API handler.
+func New(sys *expertfind.System) *Handler {
+	h := &Handler{sys: sys, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", h.health)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /v1/domains", h.domains)
+	h.mux.HandleFunc("GET /v1/queries", h.queries)
+	h.mux.HandleFunc("GET /v1/experts", h.experts)
+	h.mux.HandleFunc("GET /v1/find", h.find)
+	h.mux.HandleFunc("GET /v1/bestnetwork", h.bestNetwork)
+	h.mux.HandleFunc("GET /v1/explain", h.explain)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.sys.Stats())
+}
+
+func (h *Handler) domains(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, expertfind.Domains())
+}
+
+func (h *Handler) queries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.sys.Queries())
+}
+
+func (h *Handler) experts(w http.ResponseWriter, r *http.Request) {
+	domain := r.URL.Query().Get("domain")
+	if domain == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: domain")
+		return
+	}
+	experts, err := h.sys.Experts(domain)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"domain": domain, "experts": experts})
+}
+
+// findResponse is the payload of /v1/find.
+type findResponse struct {
+	Need    string              `json:"need"`
+	Experts []expertfind.Expert `json:"experts"`
+}
+
+func (h *Handler) find(w http.ResponseWriter, r *http.Request) {
+	need := r.URL.Query().Get("q")
+	if need == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: q")
+		return
+	}
+	opts, top, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	experts, err := h.sys.Find(need, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if top > 0 && len(experts) > top {
+		experts = experts[:top]
+	}
+	writeJSON(w, http.StatusOK, findResponse{Need: need, Experts: experts})
+}
+
+// bestNetworkResponse is the payload of /v1/bestnetwork.
+type bestNetworkResponse struct {
+	Need     string                                     `json:"need"`
+	Best     expertfind.Network                         `json:"best"`
+	Rankings map[expertfind.Network][]expertfind.Expert `json:"rankings"`
+}
+
+func (h *Handler) bestNetwork(w http.ResponseWriter, r *http.Request) {
+	need := r.URL.Query().Get("q")
+	if need == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: q")
+		return
+	}
+	opts, top, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	best, rankings, err := h.sys.BestNetwork(need, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if top > 0 {
+		for net, experts := range rankings {
+			if len(experts) > top {
+				rankings[net] = experts[:top]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, bestNetworkResponse{Need: need, Best: best, Rankings: rankings})
+}
+
+func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	need, expert := q.Get("q"), q.Get("expert")
+	if need == "" || expert == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameters: q, expert")
+		return
+	}
+	opts, top, err := parseOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if top == 0 {
+		top = 5
+	}
+	expl, err := h.sys.Explain(need, expert, top, opts...)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, expl)
+}
+
+// parseOptions converts query parameters into Find options.
+func parseOptions(r *http.Request) (opts []expertfind.FindOption, top int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("alpha"); v != "" {
+		alpha, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("invalid alpha %q", v)
+		}
+		opts = append(opts, expertfind.WithAlpha(alpha))
+	}
+	if v := q.Get("distance"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, 0, fmt.Errorf("invalid distance %q", v)
+		}
+		opts = append(opts, expertfind.WithMaxDistance(d))
+	}
+	if v := q.Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, 0, fmt.Errorf("invalid window %q", v)
+		}
+		opts = append(opts, expertfind.WithWindow(n))
+	}
+	if v := q.Get("networks"); v != "" {
+		var nets []expertfind.Network
+		for _, n := range strings.Split(v, ",") {
+			nets = append(nets, expertfind.Network(strings.TrimSpace(n)))
+		}
+		opts = append(opts, expertfind.WithNetworks(nets...))
+	}
+	if v := q.Get("friends"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, 0, fmt.Errorf("invalid friends %q", v)
+		}
+		if on {
+			opts = append(opts, expertfind.WithFriends())
+		}
+	}
+	if v := q.Get("top"); v != "" {
+		top, err = strconv.Atoi(v)
+		if err != nil || top < 0 {
+			return nil, 0, fmt.Errorf("invalid top %q", v)
+		}
+	}
+	return opts, top, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,302 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"expertfind/internal/kb"
+)
+
+// Binary index segment format. All integers are unsigned varints
+// unless noted; posting lists are delta-encoded on ascending DocIDs.
+//
+//	magic   "EFIX" (4 bytes)
+//	version uvarint
+//	numDocs uvarint, followed by delta-encoded sorted doc ids
+//	numTerms uvarint, then per term:
+//	    len(term) uvarint, term bytes,
+//	    len(postings) uvarint, then per posting: docDelta uvarint, tf uvarint
+//	numEntities uvarint, then per entity:
+//	    entityID uvarint,
+//	    len(postings) uvarint, then per posting:
+//	        docDelta uvarint, ef uvarint, dScore float64 (8 bytes LE)
+//	crc not included: the format targets trusted local storage; all
+//	structural inconsistencies (truncation, garbage) surface as
+//	decode errors.
+
+const (
+	codecMagic   = "EFIX"
+	codecVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+
+	if _, err := cw.Write([]byte(codecMagic)); err != nil {
+		return cw.n, err
+	}
+	writeUvarint(cw, codecVersion)
+
+	// Documents.
+	docs := make([]int64, 0, len(ix.docs))
+	for d := range ix.docs {
+		docs = append(docs, int64(d))
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	writeUvarint(cw, uint64(len(docs)))
+	prev := int64(0)
+	for i, d := range docs {
+		delta := d
+		if i > 0 {
+			delta = d - prev
+		}
+		writeUvarint(cw, uint64(delta))
+		prev = d
+	}
+
+	// Terms, sorted for determinism.
+	terms := make([]string, 0, len(ix.terms))
+	for t := range ix.terms {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	writeUvarint(cw, uint64(len(terms)))
+	for _, t := range terms {
+		writeUvarint(cw, uint64(len(t)))
+		if _, err := cw.Write([]byte(t)); err != nil {
+			return cw.n, err
+		}
+		postings := sortedTermPostings(ix.terms[t])
+		writeUvarint(cw, uint64(len(postings)))
+		prevDoc := int64(0)
+		for i, p := range postings {
+			delta := int64(p.doc)
+			if i > 0 {
+				delta = int64(p.doc) - prevDoc
+			}
+			writeUvarint(cw, uint64(delta))
+			writeUvarint(cw, uint64(p.tf))
+			prevDoc = int64(p.doc)
+		}
+	}
+
+	// Entities, sorted by ID.
+	ents := make([]int64, 0, len(ix.entities))
+	for e := range ix.entities {
+		ents = append(ents, int64(e))
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i] < ents[j] })
+	writeUvarint(cw, uint64(len(ents)))
+	var f8 [8]byte
+	for _, e := range ents {
+		writeUvarint(cw, uint64(e))
+		postings := sortedEntityPostings(ix.entities[kb.EntityID(e)])
+		writeUvarint(cw, uint64(len(postings)))
+		prevDoc := int64(0)
+		for i, p := range postings {
+			delta := int64(p.doc)
+			if i > 0 {
+				delta = int64(p.doc) - prevDoc
+			}
+			writeUvarint(cw, uint64(delta))
+			writeUvarint(cw, uint64(p.ef))
+			binary.LittleEndian.PutUint64(f8[:], math.Float64bits(p.dScore))
+			if _, err := cw.Write(f8[:]); err != nil {
+				return cw.n, err
+			}
+			prevDoc = int64(p.doc)
+		}
+	}
+
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadIndex deserializes an index previously written with WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic[:]) != codecMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading version: %w", err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", version)
+	}
+
+	ix := New()
+
+	nDocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading doc count: %w", err)
+	}
+	if nDocs > 1<<31 {
+		return nil, fmt.Errorf("index: implausible doc count %d", nDocs)
+	}
+	prev := int64(0)
+	for i := uint64(0); i < nDocs; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading doc %d: %w", i, err)
+		}
+		d := prev
+		if i > 0 {
+			d = prev + int64(delta)
+		} else {
+			d = int64(delta)
+		}
+		ix.docs[DocID(d)] = struct{}{}
+		prev = d
+	}
+
+	nTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading term count: %w", err)
+	}
+	if nTerms > 1<<31 {
+		return nil, fmt.Errorf("index: implausible term count %d", nTerms)
+	}
+	for i := uint64(0); i < nTerms; i++ {
+		tlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading term %d length: %w", i, err)
+		}
+		if tlen > 1<<16 {
+			return nil, fmt.Errorf("index: implausible term length %d", tlen)
+		}
+		buf := make([]byte, tlen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("index: reading term %d: %w", i, err)
+		}
+		nPost, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading postings of %q: %w", buf, err)
+		}
+		if nPost > nDocs {
+			return nil, fmt.Errorf("index: term %q has %d postings for %d docs", buf, nPost, nDocs)
+		}
+		postings := make([]termPosting, nPost)
+		prevDoc := int64(0)
+		for j := range postings {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: posting %d of %q: %w", j, buf, err)
+			}
+			d := int64(delta)
+			if j > 0 {
+				d = prevDoc + int64(delta)
+			}
+			tf, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: tf of posting %d of %q: %w", j, buf, err)
+			}
+			if _, ok := ix.docs[DocID(d)]; !ok {
+				return nil, fmt.Errorf("index: term %q references unknown doc %d", buf, d)
+			}
+			postings[j] = termPosting{doc: DocID(d), tf: int32(tf)}
+			prevDoc = d
+		}
+		ix.terms[string(buf)] = postings
+	}
+
+	nEnts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading entity count: %w", err)
+	}
+	if nEnts > 1<<31 {
+		return nil, fmt.Errorf("index: implausible entity count %d", nEnts)
+	}
+	var f8 [8]byte
+	for i := uint64(0); i < nEnts; i++ {
+		eid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading entity %d id: %w", i, err)
+		}
+		nPost, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: reading postings of entity %d: %w", eid, err)
+		}
+		if nPost > nDocs {
+			return nil, fmt.Errorf("index: entity %d has %d postings for %d docs", eid, nPost, nDocs)
+		}
+		postings := make([]entityPosting, nPost)
+		prevDoc := int64(0)
+		for j := range postings {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: posting %d of entity %d: %w", j, eid, err)
+			}
+			d := int64(delta)
+			if j > 0 {
+				d = prevDoc + int64(delta)
+			}
+			ef, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: ef of posting %d of entity %d: %w", j, eid, err)
+			}
+			if _, err := io.ReadFull(br, f8[:]); err != nil {
+				return nil, fmt.Errorf("index: dScore of posting %d of entity %d: %w", j, eid, err)
+			}
+			dScore := math.Float64frombits(binary.LittleEndian.Uint64(f8[:]))
+			if math.IsNaN(dScore) || dScore < 0 || dScore > 1 {
+				return nil, fmt.Errorf("index: entity %d posting %d has dScore %v outside [0,1]", eid, j, dScore)
+			}
+			if _, ok := ix.docs[DocID(d)]; !ok {
+				return nil, fmt.Errorf("index: entity %d references unknown doc %d", eid, d)
+			}
+			postings[j] = entityPosting{doc: DocID(d), ef: int32(ef), dScore: dScore}
+			prevDoc = d
+		}
+		ix.entities[kb.EntityID(eid)] = postings
+	}
+	return ix, nil
+}
+
+func sortedTermPostings(ps []termPosting) []termPosting {
+	out := append([]termPosting(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].doc < out[j].doc })
+	return out
+}
+
+func sortedEntityPostings(ps []entityPosting) []entityPosting {
+	out := append([]entityPosting(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].doc < out[j].doc })
+	return out
+}
+
+// countWriter tracks bytes written and the first error.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func writeUvarint(w *countWriter, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

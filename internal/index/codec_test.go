@@ -1,0 +1,245 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/kb"
+)
+
+// randomIndex builds an index with random synthetic documents.
+func randomIndex(seed int64, nDocs int) *Index {
+	r := rand.New(rand.NewSource(seed))
+	vocab := []string{"swim", "pool", "php", "copper", "milan", "guitar", "game", "match", "train", "code", "wave", "atom"}
+	ix := New()
+	for i := 0; i < nDocs; i++ {
+		terms := map[string]int{}
+		for j := 0; j < 1+r.Intn(10); j++ {
+			terms[vocab[r.Intn(len(vocab))]]++
+		}
+		ents := map[kb.EntityID]analysis.EntityStats{}
+		for j := 0; j < r.Intn(4); j++ {
+			ents[kb.EntityID(r.Intn(50))] = analysis.EntityStats{
+				Freq:   1 + r.Intn(3),
+				DScore: r.Float64(),
+			}
+		}
+		// Non-contiguous doc ids exercise the delta coding.
+		ix.Add(DocID(i*3+r.Intn(2)), analysis.Analyzed{Terms: terms, Entities: ents})
+	}
+	return ix
+}
+
+func assertIndexesEqual(t *testing.T, a, b *Index) {
+	t.Helper()
+	if a.NumDocs() != b.NumDocs() {
+		t.Fatalf("doc counts: %d vs %d", a.NumDocs(), b.NumDocs())
+	}
+	if len(a.terms) != len(b.terms) {
+		t.Fatalf("term counts: %d vs %d", len(a.terms), len(b.terms))
+	}
+	for term, pa := range a.terms {
+		pb := b.terms[term]
+		if len(pa) != len(pb) {
+			t.Fatalf("term %q postings: %d vs %d", term, len(pa), len(pb))
+		}
+		sa, sb := sortedTermPostings(pa), sortedTermPostings(pb)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("term %q posting %d: %+v vs %+v", term, i, sa[i], sb[i])
+			}
+		}
+	}
+	if len(a.entities) != len(b.entities) {
+		t.Fatalf("entity counts: %d vs %d", len(a.entities), len(b.entities))
+	}
+	for e, pa := range a.entities {
+		pb := b.entities[e]
+		sa, sb := sortedEntityPostings(pa), sortedEntityPostings(pb)
+		if len(sa) != len(sb) {
+			t.Fatalf("entity %d postings: %d vs %d", e, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i].doc != sb[i].doc || sa[i].ef != sb[i].ef ||
+				math.Abs(sa[i].dScore-sb[i].dScore) > 0 {
+				t.Fatalf("entity %d posting %d: %+v vs %+v", e, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ix := randomIndex(1, 200)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexesEqual(t, ix, got)
+}
+
+func TestCodecRoundTripPreservesScoring(t *testing.T) {
+	ix := randomIndex(2, 500)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := analysis.Analyzed{
+		Terms:    map[string]int{"swim": 2, "pool": 1, "code": 1},
+		Entities: map[kb.EntityID]analysis.EntityStats{3: {Freq: 1, DScore: 1}},
+	}
+	a := ix.Score(need, 0.6)
+	b := got.Score(need, 0.6)
+	if len(a) != len(b) {
+		t.Fatalf("score lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Doc != b[i].Doc || math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+			t.Fatalf("score %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCodecEmptyIndex(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs() != 0 {
+		t.Errorf("NumDocs = %d", got.NumDocs())
+	}
+}
+
+func TestCodecDeterministicOutput(t *testing.T) {
+	ix := randomIndex(3, 100)
+	var a, b bytes.Buffer
+	if _, err := ix.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization not deterministic")
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("NOPE plus junk")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadIndex(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	ix := randomIndex(4, 50)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any strict prefix must fail to decode (never silently succeed
+	// with fewer postings). Check a spread of cut points past the
+	// header.
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		cut := int(frac * float64(len(full)))
+		if cut < 5 {
+			continue
+		}
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+// Property: random byte corruption never panics; it either fails or
+// (rarely, when it hits a value byte) yields a structurally valid
+// index.
+func TestCodecCorruptionNeverPanics(t *testing.T) {
+	ix := randomIndex(5, 80)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	f := func(pos uint16, val byte) bool {
+		corrupted := append([]byte(nil), full...)
+		corrupted[int(pos)%len(corrupted)] = val
+		_, _ = ReadIndex(bytes.NewReader(corrupted)) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsInvalidDScore(t *testing.T) {
+	// Hand-craft an entity posting with dScore > 1 by writing a valid
+	// index and patching the float bytes.
+	ix := New()
+	ix.Add(1, analysis.Analyzed{
+		Terms:    map[string]int{"x": 1},
+		Entities: map[kb.EntityID]analysis.EntityStats{7: {Freq: 1, DScore: 0.5}},
+	})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The final 8 bytes are the dScore of the single entity posting.
+	for i := len(data) - 8; i < len(data); i++ {
+		data[i] = 0xFF // NaN pattern
+	}
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("NaN dScore accepted")
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	ix := randomIndex(6, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	ix := randomIndex(7, 2000)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadIndex(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIndex feeds arbitrary bytes to the binary index reader: it
+// must reject or accept without panicking, and anything it accepts
+// must be a structurally valid index.
+func FuzzReadIndex(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := randomIndex(1, 20).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("EFIX"))
+	f.Add([]byte{})
+	f.Add([]byte("EFIX\x01\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: basic invariants must hold.
+		if ix.NumDocs() < 0 {
+			t.Fatal("negative doc count")
+		}
+		for term := range ix.terms {
+			if len(ix.terms[term]) > ix.NumDocs() {
+				t.Fatalf("term %q has more postings than docs", term)
+			}
+		}
+	})
+}

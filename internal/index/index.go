@@ -1,0 +1,195 @@
+// Package index implements the in-memory inverted index and the
+// vector-space resource-matching model of the paper (§2.4, Eq. 1–2).
+//
+// Resources are represented both as bags of stemmed terms and as sets
+// of disambiguated entities, in the same space as expertise needs.
+// The relevance of a resource r for a need q is the weighted linear
+// combination
+//
+//	score(q,r) = α · Σ_t tf(t,r)·irf(t)²
+//	           + (1−α) · Σ_e ef(e,r)·eirf(e)²·we(e,r)
+//
+// where t ranges over the need's terms, e over the need's entities,
+// tf/ef are term/entity frequencies in r, irf/eirf are inverse
+// resource frequencies over the whole collection, and
+// we(e,r) = 1 + dScore(e,r) injects the disambiguation confidence
+// (Eq. 2).
+package index
+
+import (
+	"math"
+	"sort"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+)
+
+// DocID identifies an indexed resource.
+type DocID = socialgraph.ResourceID
+
+type termPosting struct {
+	doc DocID
+	tf  int32
+}
+
+type entityPosting struct {
+	doc    DocID
+	ef     int32
+	dScore float64
+}
+
+// Index is an append-only inverted index over analyzed resources.
+// Inverse resource frequencies reflect the collection at query time,
+// so documents can be added at any moment. Index is not safe for
+// concurrent mutation; concurrent Score calls are safe once building
+// is done.
+type Index struct {
+	terms    map[string][]termPosting
+	entities map[kb.EntityID][]entityPosting
+	docs     map[DocID]struct{}
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		terms:    make(map[string][]termPosting),
+		entities: make(map[kb.EntityID][]entityPosting),
+		docs:     make(map[DocID]struct{}),
+	}
+}
+
+// Add indexes an analyzed resource under id. Adding the same id twice
+// is a programming error and panics.
+func (ix *Index) Add(id DocID, a analysis.Analyzed) {
+	if _, dup := ix.docs[id]; dup {
+		panic("index: duplicate document")
+	}
+	ix.docs[id] = struct{}{}
+	for t, tf := range a.Terms {
+		ix.terms[t] = append(ix.terms[t], termPosting{doc: id, tf: int32(tf)})
+	}
+	for e, st := range a.Entities {
+		ix.entities[e] = append(ix.entities[e], entityPosting{doc: id, ef: int32(st.Freq), dScore: st.DScore})
+	}
+}
+
+// Merge folds another index into this one. The document sets must be
+// disjoint (each resource is analyzed exactly once); overlapping
+// documents cause a panic like a duplicate Add would. Merging
+// supports sharded corpus builds: analyze partitions independently,
+// then merge the shards.
+func (ix *Index) Merge(other *Index) {
+	for d := range other.docs {
+		if _, dup := ix.docs[d]; dup {
+			panic("index: merging overlapping document sets")
+		}
+		ix.docs[d] = struct{}{}
+	}
+	for t, ps := range other.terms {
+		ix.terms[t] = append(ix.terms[t], ps...)
+	}
+	for e, ps := range other.entities {
+		ix.entities[e] = append(ix.entities[e], ps...)
+	}
+}
+
+// NumDocs returns the number of indexed resources.
+func (ix *Index) NumDocs() int { return len(ix.docs) }
+
+// Has reports whether id is indexed.
+func (ix *Index) Has(id DocID) bool {
+	_, ok := ix.docs[id]
+	return ok
+}
+
+// DocFreq returns the number of resources containing the term.
+func (ix *Index) DocFreq(term string) int { return len(ix.terms[term]) }
+
+// EntityFreq returns the number of resources mentioning the entity.
+func (ix *Index) EntityFreq(e kb.EntityID) int { return len(ix.entities[e]) }
+
+// IRF returns the inverse resource frequency of a term over the
+// current collection: log(1 + N/df). Unseen terms contribute nothing
+// to matching, so their IRF is reported as 0.
+func (ix *Index) IRF(term string) float64 {
+	df := len(ix.terms[term])
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(len(ix.docs))/float64(df))
+}
+
+// EIRF returns the inverse resource frequency of an entity.
+func (ix *Index) EIRF(e kb.EntityID) float64 {
+	df := len(ix.entities[e])
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(len(ix.docs))/float64(df))
+}
+
+// ScoredDoc is a resource with its relevance for a need.
+type ScoredDoc struct {
+	Doc   DocID
+	Score float64
+}
+
+// Score evaluates Eq. (1) for every resource matching the analyzed
+// need and returns the matches with positive score, ordered by
+// descending score (ties broken by ascending DocID for determinism).
+//
+// alpha balances textual term matching (alpha = 1) against entity
+// matching (alpha = 0); the paper settles on alpha = 0.6 (§3.3.2).
+func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
+	scores := make(map[DocID]float64)
+
+	if alpha > 0 {
+		for t, qtf := range need.Terms {
+			if qtf <= 0 {
+				continue
+			}
+			irf := ix.IRF(t)
+			if irf == 0 {
+				continue
+			}
+			w := alpha * irf * irf
+			for _, p := range ix.terms[t] {
+				scores[p.doc] += float64(p.tf) * w
+			}
+		}
+	}
+
+	if alpha < 1 {
+		for e := range need.Entities {
+			eirf := ix.EIRF(e)
+			if eirf == 0 {
+				continue
+			}
+			w := (1 - alpha) * eirf * eirf
+			for _, p := range ix.entities[e] {
+				// Eq. 2: we(e,r) = 1 + dScore when the entity was
+				// recognized with positive confidence.
+				we := 0.0
+				if p.dScore > 0 {
+					we = 1 + p.dScore
+				}
+				scores[p.doc] += float64(p.ef) * w * we
+			}
+		}
+	}
+
+	out := make([]ScoredDoc, 0, len(scores))
+	for d, s := range scores {
+		if s > 0 {
+			out = append(out, ScoredDoc{Doc: d, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}

@@ -1,0 +1,282 @@
+package kb
+
+import "sync"
+
+var (
+	builtinOnce sync.Once
+	builtinKB   *KB
+)
+
+// Builtin returns the embedded knowledge base: ~150 entities over the
+// seven expertise domains, an anchor dictionary with deliberately
+// ambiguous surface forms (e.g. "milan" → the city and AC Milan,
+// "python" → the language and the snake), and per-domain topic
+// vocabularies. It is built once and shared; the KB is immutable
+// after construction.
+func Builtin() *KB {
+	builtinOnce.Do(func() { builtinKB = buildBuiltin() })
+	return builtinKB
+}
+
+func buildBuiltin() *KB {
+	b := NewBuilder()
+
+	// --- Computer engineering -------------------------------------
+	b.AddEntity("PHP", "Programming Language", ComputerEngineering, 0.85)
+	b.AddEntity("Python (programming language)", "Programming Language", ComputerEngineering, 0.80)
+	b.AddEntity("Java (programming language)", "Programming Language", ComputerEngineering, 0.80)
+	b.AddEntity("JavaScript", "Programming Language", ComputerEngineering, 0.85)
+	b.AddEntity("Perl", "Programming Language", ComputerEngineering, 0.80)
+	b.AddEntity("SQL", "Query Language", ComputerEngineering, 0.85)
+	b.AddEntity("Linux", "Operating System", ComputerEngineering, 0.85)
+	b.AddEntity("Git", "Software", ComputerEngineering, 0.70)
+	b.AddEntity("MySQL", "Software", ComputerEngineering, 0.90)
+	b.AddEntity("Apache HTTP Server", "Software", ComputerEngineering, 0.75)
+	b.AddEntity("Stack Overflow", "Website", ComputerEngineering, 0.90)
+	b.AddEntity("Regular expression", "Concept", ComputerEngineering, 0.80)
+	b.AddEntity("Compiler", "Concept", ComputerEngineering, 0.70)
+	b.AddEntity("Database", "Concept", ComputerEngineering, 0.60)
+	b.AddEntity("Algorithm", "Concept", ComputerEngineering, 0.60)
+	b.AddEntity("Data structure", "Concept", ComputerEngineering, 0.75)
+	b.AddEntity("HTML", "Markup Language", ComputerEngineering, 0.85)
+	b.AddEntity("CSS", "Style Language", ComputerEngineering, 0.85)
+	b.AddEntity("Hypertext Transfer Protocol", "Protocol", ComputerEngineering, 0.85)
+	b.AddEntity("Unit testing", "Concept", ComputerEngineering, 0.80)
+	b.AddAnchor("python", "Python (programming language)", 0.75, 0.70)
+	b.AddAnchor("java", "Java (programming language)", 0.70, 0.65)
+	b.AddAnchor("regex", "Regular expression", 1, 0.90)
+	b.AddAnchor("apache", "Apache HTTP Server", 1, 0.70)
+	b.AddAnchor("http", "Hypertext Transfer Protocol", 1, 0.60)
+
+	// --- Location ---------------------------------------------------
+	b.AddEntity("Milan", "City", Location, 0.75)
+	b.AddEntity("Rome", "City", Location, 0.75)
+	b.AddEntity("Paris", "City", Location, 0.75)
+	b.AddEntity("London", "City", Location, 0.75)
+	b.AddEntity("New York City", "City", Location, 0.80)
+	b.AddEntity("Tokyo", "City", Location, 0.80)
+	b.AddEntity("Berlin", "City", Location, 0.75)
+	b.AddEntity("Barcelona", "City", Location, 0.70)
+	b.AddEntity("Venice", "City", Location, 0.75)
+	b.AddEntity("Florence", "City", Location, 0.70)
+	b.AddEntity("Amsterdam", "City", Location, 0.75)
+	b.AddEntity("Duomo di Milano", "Landmark", Location, 0.90)
+	b.AddEntity("Eiffel Tower", "Landmark", Location, 0.90)
+	b.AddEntity("Colosseum", "Landmark", Location, 0.90)
+	b.AddEntity("Central Park", "Park", Location, 0.85)
+	b.AddEntity("Lake Como", "Lake", Location, 0.85)
+	b.AddEntity("Alps", "Mountain Range", Location, 0.80)
+	b.AddEntity("Sicily", "Island", Location, 0.80)
+	b.AddEntity("Navigli", "District", Location, 0.85)
+	b.AddEntity("Java (island)", "Island", Location, 0.60)
+	// "milan" is auto-registered by the Milan entity; AC Milan adds a
+	// second candidate below, giving the city ~0.74 commonness.
+	b.AddAnchor("new york", "New York City", 1, 0.80)
+	b.AddAnchor("duomo", "Duomo di Milano", 1, 0.80)
+	b.AddAnchor("java", "Java (island)", 0.30, 0.65)
+
+	// --- Movies & TV -------------------------------------------------
+	b.AddEntity("How I Met Your Mother", "TV Series", MoviesTV, 0.95)
+	b.AddEntity("Breaking Bad", "TV Series", MoviesTV, 0.90)
+	b.AddEntity("Game of Thrones", "TV Series", MoviesTV, 0.90)
+	b.AddEntity("The Godfather", "Film", MoviesTV, 0.90)
+	b.AddEntity("Inception", "Film", MoviesTV, 0.70)
+	b.AddEntity("Star Wars", "Film Series", MoviesTV, 0.90)
+	b.AddEntity("Pulp Fiction", "Film", MoviesTV, 0.90)
+	b.AddEntity("Titanic (film)", "Film", MoviesTV, 0.70)
+	b.AddEntity("The Simpsons", "TV Series", MoviesTV, 0.90)
+	b.AddEntity("Doctor Who", "TV Series", MoviesTV, 0.85)
+	b.AddEntity("Friends (TV series)", "TV Series", MoviesTV, 0.90)
+	b.AddEntity("Quentin Tarantino", "Film Director", MoviesTV, 0.90)
+	b.AddEntity("Steven Spielberg", "Film Director", MoviesTV, 0.90)
+	b.AddEntity("Christopher Nolan", "Film Director", MoviesTV, 0.90)
+	b.AddEntity("Leonardo DiCaprio", "Actor", MoviesTV, 0.90)
+	b.AddEntity("Neil Patrick Harris", "Actor", MoviesTV, 0.90)
+	b.AddEntity("Al Pacino", "Actor", MoviesTV, 0.90)
+	b.AddEntity("Netflix", "Company", MoviesTV, 0.85)
+	b.AddEntity("HBO", "TV Network", MoviesTV, 0.85)
+	b.AddEntity("Pixar", "Film Studio", MoviesTV, 0.85)
+	b.AddAnchor("himym", "How I Met Your Mother", 1, 0.90)
+	b.AddAnchor("titanic", "Titanic (film)", 0.70, 0.60)
+	b.AddAnchor("friends", "Friends (TV series)", 1, 0.12) // stop-word-like anchor
+	b.AddAnchor("tarantino", "Quentin Tarantino", 1, 0.90)
+	b.AddAnchor("dicaprio", "Leonardo DiCaprio", 1, 0.90)
+
+	// --- Music --------------------------------------------------------
+	b.AddEntity("Michael Jackson", "Musician", Music, 0.90)
+	b.AddEntity("The Beatles", "Band", Music, 0.90)
+	b.AddEntity("The Rolling Stones", "Band", Music, 0.90)
+	b.AddEntity("Wolfgang Amadeus Mozart", "Composer", Music, 0.90)
+	b.AddEntity("Ludwig van Beethoven", "Composer", Music, 0.90)
+	b.AddEntity("Elvis Presley", "Musician", Music, 0.90)
+	b.AddEntity("Bob Dylan", "Musician", Music, 0.90)
+	b.AddEntity("David Bowie", "Musician", Music, 0.90)
+	b.AddEntity("Radiohead", "Band", Music, 0.90)
+	b.AddEntity("U2", "Band", Music, 0.80)
+	b.AddEntity("Queen (band)", "Band", Music, 0.80)
+	b.AddEntity("Freddie Mercury", "Musician", Music, 0.90)
+	b.AddEntity("Thriller (album)", "Album", Music, 0.70)
+	b.AddEntity("Guitar", "Instrument", Music, 0.60)
+	b.AddEntity("Piano", "Instrument", Music, 0.60)
+	b.AddEntity("Jazz", "Genre", Music, 0.65)
+	b.AddEntity("Opera", "Genre", Music, 0.60)
+	b.AddEntity("La Scala", "Opera House", Music, 0.90)
+	b.AddEntity("Vinyl record", "Format", Music, 0.80)
+	b.AddEntity("Billie Jean", "Song", Music, 0.90)
+	b.AddAnchor("mozart", "Wolfgang Amadeus Mozart", 1, 0.90)
+	b.AddAnchor("beethoven", "Ludwig van Beethoven", 1, 0.90)
+	b.AddAnchor("elvis", "Elvis Presley", 1, 0.85)
+	b.AddAnchor("queen", "Queen (band)", 0.55, 0.35)
+	b.AddAnchor("mercury", "Freddie Mercury", 0.40, 0.45)
+	b.AddAnchor("thriller", "Thriller (album)", 0.60, 0.50)
+	b.AddAnchor("beatles", "The Beatles", 1, 0.90)
+	b.AddAnchor("rolling stones", "The Rolling Stones", 1, 0.90)
+
+	// --- Science ------------------------------------------------------
+	b.AddEntity("Copper", "Chemical Element", Science, 0.70)
+	b.AddEntity("Mercury (element)", "Chemical Element", Science, 0.55)
+	b.AddEntity("Albert Einstein", "Physicist", Science, 0.90)
+	b.AddEntity("Isaac Newton", "Physicist", Science, 0.90)
+	b.AddEntity("Charles Darwin", "Naturalist", Science, 0.90)
+	b.AddEntity("Quantum mechanics", "Theory", Science, 0.90)
+	b.AddEntity("Theory of relativity", "Theory", Science, 0.90)
+	b.AddEntity("Evolution", "Theory", Science, 0.60)
+	b.AddEntity("DNA", "Molecule", Science, 0.80)
+	b.AddEntity("Photosynthesis", "Process", Science, 0.90)
+	b.AddEntity("Gravity", "Phenomenon", Science, 0.65)
+	b.AddEntity("Electron", "Particle", Science, 0.80)
+	b.AddEntity("Higgs boson", "Particle", Science, 0.90)
+	b.AddEntity("CERN", "Laboratory", Science, 0.90)
+	b.AddEntity("Periodic table", "Concept", Science, 0.90)
+	b.AddEntity("Neuron", "Cell", Science, 0.85)
+	b.AddEntity("Antibiotic", "Drug Class", Science, 0.80)
+	b.AddEntity("Electrical conductor", "Concept", Science, 0.70)
+	b.AddEntity("Python (snake)", "Animal", Science, 0.55)
+	b.AddEntity("Steam (water vapor)", "Substance", Science, 0.40)
+	b.AddAnchor("mercury", "Mercury (element)", 0.60, 0.45)
+	b.AddAnchor("einstein", "Albert Einstein", 1, 0.90)
+	b.AddAnchor("newton", "Isaac Newton", 1, 0.80)
+	b.AddAnchor("darwin", "Charles Darwin", 1, 0.85)
+	b.AddAnchor("relativity", "Theory of relativity", 1, 0.85)
+	b.AddAnchor("conductor", "Electrical conductor", 1, 0.50)
+	b.AddAnchor("python", "Python (snake)", 0.25, 0.70)
+	b.AddAnchor("steam", "Steam (water vapor)", 0.35, 0.40)
+
+	// --- Sport --------------------------------------------------------
+	b.AddEntity("Michael Phelps", "Athlete", Sport, 0.90)
+	b.AddEntity("Usain Bolt", "Athlete", Sport, 0.90)
+	b.AddEntity("Roger Federer", "Athlete", Sport, 0.90)
+	b.AddEntity("Rafael Nadal", "Athlete", Sport, 0.90)
+	b.AddEntity("Cristiano Ronaldo", "Athlete", Sport, 0.90)
+	b.AddEntity("Lionel Messi", "Athlete", Sport, 0.90)
+	b.AddEntity("Freestyle swimming", "Sport Discipline", Sport, 0.90)
+	b.AddEntity("Association football", "Sport", Sport, 0.60)
+	b.AddEntity("Basketball", "Sport", Sport, 0.65)
+	b.AddEntity("Tennis", "Sport", Sport, 0.65)
+	b.AddEntity("Marathon", "Sport Event", Sport, 0.65)
+	b.AddEntity("Olympic Games", "Sport Event", Sport, 0.90)
+	b.AddEntity("FIFA World Cup", "Sport Event", Sport, 0.90)
+	b.AddEntity("UEFA Champions League", "Sport Competition", Sport, 0.90)
+	b.AddEntity("Serie A", "Sport Competition", Sport, 0.85)
+	b.AddEntity("FC Barcelona", "Sports Team", Sport, 0.80)
+	b.AddEntity("Real Madrid", "Sports Team", Sport, 0.85)
+	b.AddEntity("AC Milan", "Sports Team", Sport, 0.85)
+	b.AddEntity("Juventus", "Sports Team", Sport, 0.85)
+	b.AddEntity("Manchester United", "Sports Team", Sport, 0.85)
+	b.AddEntity("NBA", "Sports League", Sport, 0.85)
+	b.AddAnchor("phelps", "Michael Phelps", 1, 0.90)
+	b.AddAnchor("freestyle", "Freestyle swimming", 1, 0.55)
+	b.AddAnchor("football", "Association football", 1, 0.55)
+	b.AddAnchor("soccer", "Association football", 1, 0.60)
+	b.AddAnchor("world cup", "FIFA World Cup", 1, 0.80)
+	b.AddAnchor("champions league", "UEFA Champions League", 1, 0.85)
+	b.AddAnchor("milan", "AC Milan", 0.35, 0.70)
+	b.AddAnchor("barcelona", "FC Barcelona", 0.30, 0.70)
+	b.AddAnchor("ronaldo", "Cristiano Ronaldo", 1, 0.85)
+	b.AddAnchor("messi", "Lionel Messi", 1, 0.90)
+	b.AddAnchor("federer", "Roger Federer", 1, 0.90)
+	b.AddAnchor("olympics", "Olympic Games", 1, 0.85)
+
+	// --- Technology & videogames --------------------------------------
+	b.AddEntity("Diablo III", "Video Game", Technology, 0.90)
+	b.AddEntity("World of Warcraft", "Video Game", Technology, 0.90)
+	b.AddEntity("StarCraft", "Video Game", Technology, 0.90)
+	b.AddEntity("Minecraft", "Video Game", Technology, 0.90)
+	b.AddEntity("The Elder Scrolls V: Skyrim", "Video Game", Technology, 0.90)
+	b.AddEntity("Call of Duty", "Video Game Series", Technology, 0.90)
+	b.AddEntity("PlayStation", "Game Console", Technology, 0.85)
+	b.AddEntity("Xbox", "Game Console", Technology, 0.85)
+	b.AddEntity("Nintendo", "Company", Technology, 0.85)
+	b.AddEntity("Blizzard Entertainment", "Company", Technology, 0.80)
+	b.AddEntity("Steam (service)", "Software Platform", Technology, 0.60)
+	b.AddEntity("Nvidia", "Company", Technology, 0.90)
+	b.AddEntity("AMD", "Company", Technology, 0.85)
+	b.AddEntity("Intel", "Company", Technology, 0.85)
+	b.AddEntity("Graphics card", "Hardware", Technology, 0.85)
+	b.AddEntity("Central processing unit", "Hardware", Technology, 0.80)
+	b.AddEntity("Solid-state drive", "Hardware", Technology, 0.85)
+	b.AddEntity("iPhone", "Smartphone", Technology, 0.85)
+	b.AddEntity("Android (operating system)", "Operating System", Technology, 0.75)
+	b.AddEntity("Oculus Rift", "Hardware", Technology, 0.90)
+	b.AddAnchor("diablo 3", "Diablo III", 1, 0.90)
+	b.AddAnchor("diablo", "Diablo III", 0.80, 0.60)
+	b.AddAnchor("wow", "World of Warcraft", 0.70, 0.30)
+	b.AddAnchor("skyrim", "The Elder Scrolls V: Skyrim", 1, 0.90)
+	b.AddAnchor("blizzard", "Blizzard Entertainment", 0.75, 0.55)
+	b.AddAnchor("steam", "Steam (service)", 0.65, 0.40)
+	b.AddAnchor("gpu", "Graphics card", 0.90, 0.80)
+	b.AddAnchor("cpu", "Central processing unit", 1, 0.80)
+	b.AddAnchor("ssd", "Solid-state drive", 1, 0.85)
+	b.AddAnchor("android", "Android (operating system)", 0.85, 0.70)
+
+	addExtendedCatalog(b)
+
+	// --- Per-domain topic vocabularies ---------------------------------
+	b.AddVocab(ComputerEngineering,
+		"function", "string", "array", "code", "bug", "compile", "debug",
+		"server", "query", "table", "index", "class", "object", "method",
+		"variable", "loop", "pointer", "memory", "thread", "library",
+		"framework", "commit", "branch", "deploy", "api", "backend",
+		"frontend", "script", "syntax", "exception", "runtime", "refactor",
+		"programming", "software", "developer", "repository")
+	b.AddVocab(Location,
+		"restaurant", "city", "travel", "trip", "hotel", "museum", "square",
+		"street", "river", "beach", "mountain", "church", "cathedral",
+		"bridge", "market", "district", "neighborhood", "flight", "train",
+		"station", "airport", "tour", "guide", "view", "sunset", "lake",
+		"island", "village", "downtown", "pizzeria", "cafe", "vacation")
+	b.AddVocab(MoviesTV,
+		"movie", "film", "actor", "actress", "episode", "season", "series",
+		"director", "scene", "trailer", "cinema", "screenplay", "plot",
+		"character", "finale", "premiere", "sitcom", "drama", "comedy",
+		"thriller", "oscar", "cast", "sequel", "remake", "documentary",
+		"streaming", "binge", "watch", "screen", "studio")
+	b.AddVocab(Music,
+		"song", "album", "band", "concert", "guitar", "piano", "drums",
+		"singer", "melody", "lyrics", "chorus", "tour", "stage", "vinyl",
+		"playlist", "record", "symphony", "orchestra", "festival", "gig",
+		"bass", "chord", "tune", "track", "single", "studio", "acoustic",
+		"rock", "pop", "classical")
+	b.AddVocab(Science,
+		"copper", "conductor", "electron", "atom", "molecule", "energy",
+		"experiment", "theory", "physics", "chemistry", "biology", "cell",
+		"gene", "protein", "reaction", "electricity", "magnetic", "quantum",
+		"particle", "laboratory", "research", "hypothesis", "evolution",
+		"species", "metal", "element", "temperature", "pressure", "wave",
+		"resistance", "voltage", "current")
+	b.AddVocab(Sport,
+		"match", "team", "goal", "league", "player", "coach", "training",
+		"swimming", "pool", "medal", "race", "championship", "tournament",
+		"stadium", "score", "season", "transfer", "striker", "defender",
+		"midfielder", "penalty", "final", "record", "sprint", "athlete",
+		"fitness", "gym", "derby", "victory", "defeat", "referee")
+	b.AddVocab(Technology,
+		"game", "gaming", "console", "graphics", "card", "gpu", "cpu",
+		"screen", "keyboard", "mouse", "gadget", "device", "smartphone",
+		"tablet", "laptop", "hardware", "driver", "benchmark", "fps",
+		"resolution", "quest", "level", "multiplayer", "raid", "patch",
+		"update", "release", "review", "specs", "battery", "wireless",
+		"overclock")
+
+	return b.MustBuild()
+}

@@ -1,0 +1,117 @@
+package langid
+
+// trainingSamples holds the embedded text used to build the default
+// language profiles. The samples are ordinary prose rich in function
+// words, which dominate the top of character n-gram rankings and make
+// short-text identification reliable.
+var trainingSamples = map[Lang]string{
+	English: `the quick brown fox jumps over the lazy dog and then it runs away
+into the forest where the trees are tall and the light is soft in the
+morning when the people of the town wake up and go to work they talk
+about the weather and the news of the day because there is always
+something that has happened somewhere in the world and everyone wants
+to know what it means for them and for their families the children go
+to school where they learn to read and write and to count and they
+play games in the yard during the break while the teachers drink
+coffee and talk about the lessons of the afternoon it is a simple life
+but it is a good one and most people would not change it for anything
+else in the world because they have everything that they need right
+here the shops sell bread and milk and fruit and the market on the
+square is open every saturday morning from early until noon when the
+farmers pack their things and drive back to their fields which lie
+just outside the town between the river and the hills that you can
+see from the church tower if you climb all the way up the narrow
+stairs that turn and turn until you reach the top and look out over
+the roofs of the houses this is what we know and this is what we tell
+our children so that they will remember where they come from and who
+they are no matter where life takes them in the years to come`,
+
+	Italian: `la mattina presto il sole sorge sopra le colline e la luce entra
+dalle finestre della casa dove la famiglia si prepara per la giornata
+i bambini vanno a scuola e imparano a leggere e a scrivere mentre i
+genitori vanno al lavoro in città con il treno che parte dalla piccola
+stazione del paese ogni giorno alla stessa ora la gente parla del
+tempo e delle notizie perché c'è sempre qualcosa che succede nel mondo
+e tutti vogliono sapere cosa significa per loro e per le loro famiglie
+il mercato della piazza è aperto ogni sabato mattina e i contadini
+vendono il pane il latte la frutta e la verdura che coltivano nei
+campi fuori dal paese tra il fiume e le colline che si vedono dal
+campanile della chiesa se si salgono tutte le scale strette fino in
+cima questa è la vita semplice che conosciamo e che raccontiamo ai
+nostri figli perché ricordino da dove vengono e chi sono ovunque la
+vita li porti negli anni che verranno e anche quando saranno lontani
+penseranno sempre a questo posto con il cuore pieno di ricordi belli`,
+
+	Spanish: `por la mañana temprano el sol sale sobre las colinas y la luz entra
+por las ventanas de la casa donde la familia se prepara para el día
+los niños van a la escuela y aprenden a leer y a escribir mientras los
+padres van al trabajo en la ciudad con el tren que sale de la pequeña
+estación del pueblo todos los días a la misma hora la gente habla del
+tiempo y de las noticias porque siempre hay algo que pasa en el mundo
+y todos quieren saber qué significa para ellos y para sus familias el
+mercado de la plaza está abierto todos los sábados por la mañana y los
+campesinos venden el pan la leche la fruta y las verduras que cultivan
+en los campos fuera del pueblo entre el río y las colinas que se ven
+desde la torre de la iglesia si subes todas las escaleras estrechas
+hasta arriba esta es la vida sencilla que conocemos y que contamos a
+nuestros hijos para que recuerden de dónde vienen y quiénes son donde
+quiera que la vida los lleve en los años que vendrán`,
+
+	French: `le matin très tôt le soleil se lève sur les collines et la lumière
+entre par les fenêtres de la maison où la famille se prépare pour la
+journée les enfants vont à l'école et apprennent à lire et à écrire
+pendant que les parents vont au travail en ville avec le train qui
+part de la petite gare du village tous les jours à la même heure les
+gens parlent du temps et des nouvelles parce qu'il y a toujours
+quelque chose qui se passe dans le monde et tout le monde veut savoir
+ce que cela signifie pour eux et pour leurs familles le marché de la
+place est ouvert tous les samedis matin et les paysans vendent le pain
+le lait les fruits et les légumes qu'ils cultivent dans les champs en
+dehors du village entre la rivière et les collines que l'on voit
+depuis le clocher de l'église si l'on monte tous les escaliers étroits
+jusqu'en haut c'est la vie simple que nous connaissons et que nous
+racontons à nos enfants pour qu'ils se souviennent d'où ils viennent`,
+
+	Portuguese: `de manhã cedo o sol nasce sobre as colinas e a luz entra pelas
+janelas da casa onde a família se prepara para o dia as crianças vão à
+escola e aprendem a ler e a escrever enquanto os pais vão ao trabalho
+na cidade com o comboio que parte da pequena estação da aldeia todos
+os dias à mesma hora as pessoas falam do tempo e das notícias porque
+há sempre alguma coisa que acontece no mundo e todos querem saber o
+que significa para eles e para as suas famílias o mercado da praça
+está aberto todos os sábados de manhã e os agricultores vendem o pão
+o leite a fruta e os legumes que cultivam nos campos fora da aldeia
+entre o rio e as colinas que se veem da torre da igreja se subirmos
+todas as escadas estreitas até ao topo esta é a vida simples que
+conhecemos e que contamos aos nossos filhos para que se lembrem de
+onde vêm e de quem são onde quer que a vida os leve nos anos que virão`,
+
+	Dutch: `vroeg in de ochtend komt de zon op boven de heuvels en het licht
+valt door de ramen van het huis waar het gezin zich klaarmaakt voor de
+dag de kinderen gaan naar school en leren lezen en schrijven terwijl
+de ouders met de trein naar hun werk in de stad gaan die elke dag op
+hetzelfde tijdstip van het kleine station van het dorp vertrekt de
+mensen praten over het weer en het nieuws want er gebeurt altijd wel
+iets in de wereld en iedereen wil weten wat het voor hen en voor hun
+gezinnen betekent de markt op het plein is elke zaterdagochtend open
+en de boeren verkopen brood melk fruit en groenten die ze verbouwen op
+de velden buiten het dorp tussen de rivier en de heuvels die je vanaf
+de kerktoren kunt zien als je alle smalle trappen helemaal naar boven
+klimt dit is het eenvoudige leven dat wij kennen en dat wij aan onze
+kinderen vertellen zodat zij zich herinneren waar zij vandaan komen`,
+
+	German: `am frühen morgen geht die sonne über den hügeln auf und das licht
+fällt durch die fenster des hauses in dem sich die familie auf den tag
+vorbereitet die kinder gehen in die schule und lernen lesen und
+schreiben während die eltern mit dem zug zur arbeit in die stadt
+fahren der jeden tag zur gleichen zeit vom kleinen bahnhof des dorfes
+abfährt die leute sprechen über das wetter und die nachrichten weil
+immer irgendwo etwas in der welt geschieht und alle wissen wollen was
+es für sie und ihre familien bedeutet der markt auf dem platz ist
+jeden samstagmorgen geöffnet und die bauern verkaufen brot milch obst
+und gemüse das sie auf den feldern außerhalb des dorfes anbauen
+zwischen dem fluss und den hügeln die man vom kirchturm aus sehen kann
+wenn man die engen treppen bis ganz nach oben steigt das ist das
+einfache leben das wir kennen und von dem wir unseren kindern erzählen
+damit sie sich daran erinnern woher sie kommen und wer sie sind`,
+}

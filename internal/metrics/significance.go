@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomizationTest returns the two-sided p-value of the null
+// hypothesis that the paired per-query scores a and b are exchangeable
+// — Fisher's randomization (permutation) test over sign flips of the
+// per-pair differences, the recommended significance test for IR
+// metric comparisons (Smucker, Allan & Carterette, CIKM 2007).
+//
+// a and b must be aligned per query and equally long. iterations
+// controls the Monte-Carlo sample size (10,000 is customary); the
+// result is deterministic for a fixed seed.
+func RandomizationTest(a, b []float64, iterations int, seed int64) float64 {
+	if len(a) != len(b) || len(a) == 0 || iterations <= 0 {
+		return 1
+	}
+	diffs := make([]float64, len(a))
+	var observed float64
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		observed += diffs[i]
+	}
+	observed = math.Abs(observed / float64(len(diffs)))
+
+	r := rand.New(rand.NewSource(seed))
+	extreme := 0
+	for it := 0; it < iterations; it++ {
+		var sum float64
+		for _, d := range diffs {
+			if r.Intn(2) == 0 {
+				sum += d
+			} else {
+				sum -= d
+			}
+		}
+		if math.Abs(sum/float64(len(diffs))) >= observed-1e-15 {
+			extreme++
+		}
+	}
+	return float64(extreme) / float64(iterations)
+}
+
+// PairedMeanDiff returns mean(a) - mean(b) for aligned per-query
+// scores.
+func PairedMeanDiff(a, b []float64) float64 {
+	return Mean(a) - Mean(b)
+}
+
+// KendallTau returns Kendall's τ-b rank correlation between two
+// aligned score vectors: +1 for identical orderings, −1 for reversed,
+// 0 for unrelated. Ties are handled with the τ-b correction; vectors
+// where either side is constant return 0.
+func KendallTau(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denomX := n0 - tiesX
+	denomY := n0 - tiesY
+	if denomX <= 0 || denomY <= 0 {
+		return 0
+	}
+	return (concordant - discordant) / sqrt(denomX*denomY)
+}
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }

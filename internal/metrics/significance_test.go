@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomizationTestDetectsCleanDifference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		b[i] = r.Float64() * 0.3
+		a[i] = b[i] + 0.3 + r.Float64()*0.1 // consistently much better
+	}
+	p := RandomizationTest(a, b, 10000, 7)
+	if p > 0.01 {
+		t.Errorf("p = %v for a systematic difference, want < 0.01", p)
+	}
+}
+
+func TestRandomizationTestAcceptsNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		base := r.Float64()
+		a[i] = base + r.NormFloat64()*0.05
+		b[i] = base + r.NormFloat64()*0.05
+	}
+	p := RandomizationTest(a, b, 10000, 7)
+	if p < 0.05 {
+		t.Errorf("p = %v for pure noise, want >= 0.05", p)
+	}
+}
+
+func TestRandomizationTestIdenticalSamples(t *testing.T) {
+	a := []float64{0.1, 0.5, 0.9}
+	if p := RandomizationTest(a, a, 1000, 3); p != 1 {
+		t.Errorf("p = %v for identical samples, want 1", p)
+	}
+}
+
+func TestRandomizationTestDegenerateInputs(t *testing.T) {
+	if p := RandomizationTest(nil, nil, 100, 1); p != 1 {
+		t.Errorf("p(nil) = %v", p)
+	}
+	if p := RandomizationTest([]float64{1}, []float64{1, 2}, 100, 1); p != 1 {
+		t.Errorf("p(mismatched) = %v", p)
+	}
+	if p := RandomizationTest([]float64{1}, []float64{0}, 0, 1); p != 1 {
+		t.Errorf("p(no iterations) = %v", p)
+	}
+}
+
+func TestRandomizationTestDeterministic(t *testing.T) {
+	a := []float64{0.3, 0.5, 0.7, 0.9, 0.2}
+	b := []float64{0.2, 0.4, 0.8, 0.7, 0.1}
+	p1 := RandomizationTest(a, b, 5000, 11)
+	p2 := RandomizationTest(a, b, 5000, 11)
+	if p1 != p2 {
+		t.Errorf("nondeterministic: %v vs %v", p1, p2)
+	}
+}
+
+func TestPairedMeanDiff(t *testing.T) {
+	if d := PairedMeanDiff([]float64{1, 2, 3}, []float64{0, 1, 2}); d != 1 {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := KendallTau(x, []float64{10, 20, 30, 40}); got != 1 {
+		t.Errorf("identical order tau = %v", got)
+	}
+	if got := KendallTau(x, []float64{40, 30, 20, 10}); got != -1 {
+		t.Errorf("reversed tau = %v", got)
+	}
+	if got := KendallTau(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant tau = %v", got)
+	}
+	if got := KendallTau(x, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched tau = %v", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("single tau = %v", got)
+	}
+	// Partial agreement lands strictly between the extremes.
+	mid := KendallTau(x, []float64{2, 1, 3, 4})
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("partial tau = %v", mid)
+	}
+	// Ties: tau-b stays in [-1, 1].
+	tied := KendallTau([]float64{1, 1, 2, 3}, []float64{1, 2, 2, 3})
+	if tied < -1 || tied > 1 {
+		t.Errorf("tied tau = %v", tied)
+	}
+}

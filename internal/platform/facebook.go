@@ -1,0 +1,195 @@
+package platform
+
+import (
+	"fmt"
+
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+)
+
+// Facebook generates the Facebook slice of the corpus: short,
+// weakly-topical profiles, wall posts (owned, sometimes created by
+// friends), likes, bidirectional friendships, and the groups and
+// pages whose posts dominate the network's distance-2 volume.
+type Facebook struct {
+	// MeanOwnPosts is the average number of wall posts per candidate
+	// (scaled by activity and Context.Scale).
+	MeanOwnPosts float64
+	// MeanLikes is the average number of annotated (liked) group/page
+	// posts per candidate.
+	MeanLikes float64
+	// GroupsPerDomain is the number of groups per domain.
+	GroupsPerDomain int
+	// MeanGroupPosts is the average number of posts per group.
+	MeanGroupPosts float64
+	// Pages is the number of entity-focused pages.
+	Pages int
+	// MeanPagePosts is the average number of posts per page.
+	MeanPagePosts float64
+	// FriendProb is the probability that two candidates are friends.
+	FriendProb float64
+	// ChatterProb is the probability that an own post is generic
+	// chatter rather than topical.
+	ChatterProb float64
+}
+
+// DefaultFacebook returns the calibrated generator.
+func DefaultFacebook() *Facebook {
+	return &Facebook{
+		MeanOwnPosts:    40,
+		MeanLikes:       15,
+		GroupsPerDomain: 4,
+		MeanGroupPosts:  150,
+		Pages:           40,
+		MeanPagePosts:   80,
+		FriendProb:      0.15,
+		ChatterProb:     0.40,
+	}
+}
+
+// Network implements Generator.
+func (*Facebook) Network() socialgraph.Network { return socialgraph.Facebook }
+
+// Generate implements Generator.
+func (fb *Facebook) Generate(ctx *Context) {
+	g, r := ctx.Graph, ctx.Rand
+	net := socialgraph.Facebook
+
+	// Profiles: a short bio, topical with probability proportional to
+	// the candidate's strongest interest, plus — for most users — a
+	// location line (the widespread geographic information of §3.7).
+	for _, u := range ctx.Candidates {
+		d, ok := topInterest(ctx, u)
+		topical := ok && r.Float64() < 0.45+0.4*ctx.Interest(u, d)
+		bio := ctx.Text.ShortBio(d, topical)
+		if r.Float64() < 0.6 {
+			bio += ", " + ctx.Text.CityLine()
+		}
+		g.SetProfile(u, net, bio)
+	}
+
+	// Friendships among candidates (bidirectional; the paper could not
+	// crawl friends' content on Facebook, and neither do the Table 1
+	// follow-paths, since every relationship here is mutual).
+	for i, a := range ctx.Candidates {
+		for _, b := range ctx.Candidates[i+1:] {
+			if r.Float64() < fb.FriendProb {
+				g.Befriend(a, b, net)
+			}
+		}
+	}
+
+	// Groups per domain, with external members authoring the posts.
+	groupsByDomain := make(map[kb.Domain][]socialgraph.ContainerID)
+	postsByDomain := make(map[kb.Domain][]socialgraph.ResourceID)
+	for _, d := range kb.Domains {
+		for gi := 0; gi < fb.GroupsPerDomain; gi++ {
+			owner := g.AddUser(fmt.Sprintf("fb-group-owner-%s-%d", d, gi), false)
+			name, desc := ctx.Text.GroupDesc(d)
+			c := g.AddContainer(net, socialgraph.ContainerGroup, owner, name, desc)
+			groupsByDomain[d] = append(groupsByDomain[d], c)
+			n := poisson(r, ctx.scaled(fb.MeanGroupPosts))
+			for p := 0; p < n; p++ {
+				author := owner
+				if r.Float64() < 0.8 {
+					author = g.AddUser(fmt.Sprintf("fb-member-%s-%d-%d", d, gi, p), false)
+				}
+				text, urls := fb.memberPost(ctx, d)
+				g.AddContainedResource(socialgraph.KindGroupPost, c, author, text, urls...)
+			}
+			postsByDomain[d] = append(postsByDomain[d], g.ContainedResources(c)...)
+		}
+	}
+
+	// Entity-focused pages (e.g. the Facebook page of a band or club).
+	pagesByDomain := make(map[kb.Domain][]socialgraph.ContainerID)
+	for pi := 0; pi < fb.Pages; pi++ {
+		d := kb.Domains[pi%len(kb.Domains)]
+		owner := g.AddUser(fmt.Sprintf("fb-page-owner-%d", pi), false)
+		name, desc := ctx.Text.GroupDesc(d)
+		c := g.AddContainer(net, socialgraph.ContainerPage, owner, name, desc)
+		pagesByDomain[d] = append(pagesByDomain[d], c)
+		n := poisson(r, ctx.scaled(fb.MeanPagePosts))
+		for p := 0; p < n; p++ {
+			text, urls := fb.memberPost(ctx, d)
+			g.AddContainedResource(socialgraph.KindPagePost, c, owner, text, urls...)
+		}
+		postsByDomain[d] = append(postsByDomain[d], g.ContainedResources(c)...)
+	}
+
+	// Candidate activity: wall posts, group/page memberships, likes.
+	for _, u := range ctx.Candidates {
+		nPosts := poisson(r, ctx.scaled(fb.MeanOwnPosts)*ctx.Activity(u))
+		for p := 0; p < nPosts; p++ {
+			var text string
+			var urls []string
+			if d, ok := pickDomain(ctx, u, net); ok && r.Float64() > fb.ChatterProb {
+				text, urls = ctx.Text.TopicalPost(d)
+			} else {
+				text = ctx.Text.Chatter()
+			}
+			rid := g.AddResource(net, socialgraph.KindPost, u, text, urls...)
+			g.Owns(u, rid)
+		}
+
+		// Memberships: join groups/pages of domains proportionally to
+		// interest × network bias (kept selective: memberships spread
+		// every contained post over all joining candidates, so loose
+		// joining would flatten the expertise signal at distance 2);
+		// everyone joins a little noise.
+		for _, d := range kb.Domains {
+			p := clamp(ctx.Interest(u, d)*DomainBias(net, d)*0.35, 0.8)
+			for _, c := range groupsByDomain[d] {
+				if r.Float64() < p {
+					g.RelatesTo(u, c)
+				}
+			}
+			for _, c := range pagesByDomain[d] {
+				if r.Float64() < p*0.8 {
+					g.RelatesTo(u, c)
+				}
+			}
+		}
+		if r.Float64() < 0.3 && len(groupsByDomain) > 0 {
+			d := kb.Domains[r.Intn(len(kb.Domains))]
+			gs := groupsByDomain[d]
+			g.RelatesTo(u, gs[r.Intn(len(gs))])
+		}
+
+		// Likes on group/page posts, in the candidate's domains of
+		// interest — annotations are genuine expertise clues, not
+		// random clicks.
+		nLikes := poisson(r, ctx.scaled(fb.MeanLikes)*ctx.Activity(u))
+		for li := 0; li < nLikes; li++ {
+			d, ok := pickDomain(ctx, u, net)
+			if !ok {
+				d = kb.Domains[r.Intn(len(kb.Domains))]
+			}
+			pool := postsByDomain[d]
+			if len(pool) == 0 {
+				continue
+			}
+			g.Annotates(u, pool[r.Intn(len(pool))])
+		}
+	}
+}
+
+// memberPost composes a group/page post: mostly topical, with some
+// chatter mixed in.
+func (fb *Facebook) memberPost(ctx *Context, d kb.Domain) (string, []string) {
+	if ctx.Rand.Float64() < 0.2 {
+		return ctx.Text.Chatter(), nil
+	}
+	return ctx.Text.TopicalPost(d)
+}
+
+// topInterest returns the candidate's highest-interest domain.
+func topInterest(ctx *Context, u socialgraph.UserID) (kb.Domain, bool) {
+	best, bestW := kb.Domain(""), 0.0
+	for _, d := range kb.Domains {
+		if w := ctx.Interest(u, d); w > bestW {
+			best, bestW = d, w
+		}
+	}
+	return best, bestW > 0.05
+}

@@ -1,0 +1,184 @@
+// Package platform simulates the three social platforms of the paper
+// — Facebook, Twitter and LinkedIn — as generators that populate a
+// socialgraph.Graph with meta-model instances whose structure and
+// topical statistics match what the paper reports for each network
+// (§2.2, §3.1, Fig. 5a):
+//
+//   - Facebook: bidirectional friendships; the largest resource
+//     volume, dominated by group and page posts at distance 2;
+//     content leaning towards entertainment domains (location, music,
+//     sport, movies & tv).
+//   - Twitter: directed follows; the largest distance-1 volume (own
+//     tweets plus followed-user profiles); thematically focused
+//     followed accounts standing in for groups/pages; content leaning
+//     towards computer engineering, science, sport and technology.
+//   - LinkedIn: few resources, 95% of them group posts at distance 2;
+//     verbose, work-topical profiles (the paper's explanation for its
+//     good distance-0 precision in computer engineering).
+//
+// The generators are deterministic given the Context's seeded random
+// source.
+package platform
+
+import (
+	"math"
+	"math/rand"
+
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+	"expertfind/internal/webcontent"
+)
+
+// Context carries the shared state a network generator operates on.
+type Context struct {
+	Graph *socialgraph.Graph
+	Web   *webcontent.Web
+	KB    *kb.KB
+	Rand  *rand.Rand
+	Text  *TextGen
+
+	// Candidates is the expert-candidate pool CE.
+	Candidates []socialgraph.UserID
+
+	// Interest returns the propensity in [0, 1] of a candidate to
+	// produce or consume content about a domain. It folds together the
+	// candidate's latent expertise and how much of it they express on
+	// social platforms (§3.7: silent experts have near-zero interest
+	// everywhere even when their self-assessment is high).
+	Interest func(u socialgraph.UserID, d kb.Domain) float64
+
+	// Skill returns the candidate's latent expertise in [0, 1] for a
+	// domain, independent of how much of it they express in their
+	// social activity. LinkedIn career profiles are driven by Skill
+	// rather than Interest: a résumé is filled in once and reflects
+	// actual competence even for users who never post (§3.7).
+	Skill func(u socialgraph.UserID, d kb.Domain) float64
+
+	// Activity scales a candidate's posting volume (mean 1, heavy
+	// tailed: some users publish thousands of resources, some almost
+	// none — the spread visible in Fig. 10).
+	Activity func(u socialgraph.UserID) float64
+
+	// Scale multiplies every volume constant; 1.0 generates ≈20k
+	// resources for 40 candidates.
+	Scale float64
+}
+
+// Generator populates the graph with one platform's users, resources
+// and relationships.
+type Generator interface {
+	Network() socialgraph.Network
+	Generate(ctx *Context)
+}
+
+// DomainBias returns the per-network multiplier applied to a domain's
+// probability of being the topic of a resource, encoding each
+// platform's editorial slant as reported in §3.6–§3.7.
+func DomainBias(net socialgraph.Network, d kb.Domain) float64 {
+	return domainBias[net][d]
+}
+
+var domainBias = map[socialgraph.Network]map[kb.Domain]float64{
+	socialgraph.Facebook: {
+		kb.ComputerEngineering: 0.30,
+		kb.Location:            1.30,
+		kb.MoviesTV:            1.50,
+		kb.Music:               1.40,
+		kb.Science:             0.25,
+		kb.Sport:               1.30,
+		kb.Technology:          0.80,
+	},
+	socialgraph.Twitter: {
+		kb.ComputerEngineering: 1.50,
+		kb.Location:            0.70,
+		kb.MoviesTV:            0.90,
+		kb.Music:               0.90,
+		kb.Science:             1.20,
+		kb.Sport:               1.20,
+		kb.Technology:          1.40,
+	},
+	socialgraph.LinkedIn: {
+		kb.ComputerEngineering: 2.00,
+		kb.Location:            0.10,
+		kb.MoviesTV:            0.05,
+		kb.Music:               0.05,
+		kb.Science:             0.80,
+		kb.Sport:               0.10,
+		kb.Technology:          0.80,
+	},
+}
+
+// offInterestProb is the probability that a topical resource is about
+// a uniformly random domain instead of one the candidate cares about:
+// people share articles, retweet acquaintances and comment on current
+// events outside their interests, which blurs the expertise signal
+// (part of why the paper's absolute precision stays moderate).
+const offInterestProb = 0.15
+
+// pickDomain draws a topic domain for a candidate's resource on a
+// network, weighting each domain by interest × bias. It returns false
+// when the candidate has no topical pull at all (the resource becomes
+// generic chatter).
+func pickDomain(ctx *Context, u socialgraph.UserID, net socialgraph.Network) (kb.Domain, bool) {
+	if ctx.Rand.Float64() < offInterestProb {
+		return kb.Domains[ctx.Rand.Intn(len(kb.Domains))], true
+	}
+	weights := make([]float64, len(kb.Domains))
+	total := 0.0
+	for i, d := range kb.Domains {
+		w := ctx.Interest(u, d) * DomainBias(net, d)
+		weights[i] = w
+		total += w
+	}
+	if total < 1e-6 {
+		return "", false
+	}
+	x := ctx.Rand.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return kb.Domains[i], true
+		}
+	}
+	return kb.Domains[len(kb.Domains)-1], true
+}
+
+// poisson draws a Poisson-distributed count with the given mean
+// (Knuth's algorithm; the means used here are small). Means below
+// zero yield zero.
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation for large means.
+		n := int(mean + math.Sqrt(mean)*r.NormFloat64() + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// scaled multiplies a base volume by the context scale.
+func (ctx *Context) scaled(base float64) float64 { return base * ctx.Scale }
+
+// clamp01 limits v to [0, hi].
+func clamp(v, hi float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

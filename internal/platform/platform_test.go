@@ -1,0 +1,263 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+	"expertfind/internal/webcontent"
+)
+
+// testContext builds a deterministic Context over nCandidates users:
+// even-indexed candidates are sport experts, odd ones have no
+// interests at all.
+func testContext(t testing.TB, nCandidates int, scale float64) *Context {
+	t.Helper()
+	g := socialgraph.New()
+	var cands []socialgraph.UserID
+	for i := 0; i < nCandidates; i++ {
+		cands = append(cands, g.AddUser("u", true))
+	}
+	return &Context{
+		Graph:      g,
+		Web:        webcontent.NewWeb(),
+		KB:         kb.Builtin(),
+		Rand:       rand.New(rand.NewSource(42)),
+		Candidates: cands,
+		Interest: func(u socialgraph.UserID, d kb.Domain) float64 {
+			if u%2 == 0 && d == kb.Sport {
+				return 0.8
+			}
+			return 0
+		},
+		Skill: func(u socialgraph.UserID, d kb.Domain) float64 {
+			if u%2 == 0 && d == kb.ComputerEngineering {
+				return 0.9
+			}
+			return 0.1
+		},
+		Activity: func(socialgraph.UserID) float64 { return 1 },
+		Scale:    scale,
+	}
+}
+
+func TestFacebookGenerate(t *testing.T) {
+	ctx := testContext(t, 6, 0.1)
+	ctx.Text = NewTextGen(ctx.KB, ctx.Web, ctx.Rand)
+	fb := DefaultFacebook()
+	if fb.Network() != socialgraph.Facebook {
+		t.Fatal("wrong network")
+	}
+	fb.Generate(ctx)
+
+	g := ctx.Graph
+	// Every candidate has a Facebook profile.
+	for _, u := range ctx.Candidates {
+		if _, ok := g.Profile(u, socialgraph.Facebook); !ok {
+			t.Errorf("candidate %d has no facebook profile", u)
+		}
+	}
+	// Groups exist for every domain with posts in them.
+	if g.NumContainers() < len(kb.Domains)*fb.GroupsPerDomain {
+		t.Errorf("containers = %d", g.NumContainers())
+	}
+	// All resources are on Facebook.
+	for i := 0; i < g.NumResources(); i++ {
+		if net := g.Resource(socialgraph.ResourceID(i)).Network; net != socialgraph.Facebook {
+			t.Fatalf("resource %d on %s", i, net)
+		}
+	}
+}
+
+func TestFacebookInterestDrivesReach(t *testing.T) {
+	ctx := testContext(t, 10, 0.3)
+	ctx.Text = NewTextGen(ctx.KB, ctx.Web, ctx.Rand)
+	DefaultFacebook().Generate(ctx)
+
+	// Sport-interested (even) candidates must reach more distance-2
+	// resources than interest-free (odd) ones, on average.
+	var evenSum, oddSum float64
+	for _, u := range ctx.Candidates {
+		n := float64(len(ctx.Graph.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2})))
+		if u%2 == 0 {
+			evenSum += n
+		} else {
+			oddSum += n
+		}
+	}
+	if evenSum <= oddSum {
+		t.Errorf("interested candidates reach %.0f resources, uninterested %.0f", evenSum, oddSum)
+	}
+}
+
+func TestTwitterGenerate(t *testing.T) {
+	ctx := testContext(t, 6, 0.1)
+	ctx.Text = NewTextGen(ctx.KB, ctx.Web, ctx.Rand)
+	tw := DefaultTwitter()
+	if tw.Network() != socialgraph.Twitter {
+		t.Fatal("wrong network")
+	}
+	tw.Generate(ctx)
+
+	g := ctx.Graph
+	for _, u := range ctx.Candidates {
+		if _, ok := g.Profile(u, socialgraph.Twitter); !ok {
+			t.Errorf("candidate %d has no twitter profile", u)
+		}
+	}
+	// Sport-interested candidates follow sport accounts
+	// (unidirectionally), so they reach followed profiles at dist 1.
+	reached := false
+	for _, u := range ctx.Candidates {
+		if u%2 != 0 {
+			continue
+		}
+		if len(g.Followed(u, socialgraph.Twitter, false)) > 0 {
+			reached = true
+		}
+	}
+	if !reached {
+		t.Error("no interested candidate follows any thematic account")
+	}
+	// Twitter has no containers.
+	if g.NumContainers() != 0 {
+		t.Errorf("twitter created %d containers", g.NumContainers())
+	}
+}
+
+func TestTwitterFriendsAreMutual(t *testing.T) {
+	ctx := testContext(t, 8, 0.1)
+	ctx.Text = NewTextGen(ctx.KB, ctx.Web, ctx.Rand)
+	DefaultTwitter().Generate(ctx)
+	g := ctx.Graph
+
+	// External friend users mutually follow their candidate; the
+	// default traversal must therefore NOT reach their tweets, while
+	// IncludeFriends must.
+	for _, u := range ctx.Candidates {
+		base := len(g.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2}))
+		withFriends := len(g.ResourcesWithin(u, socialgraph.TraversalOptions{MaxDistance: 2, IncludeFriends: true}))
+		if withFriends < base {
+			t.Fatalf("friend expansion shrank reach: %d -> %d", base, withFriends)
+		}
+	}
+}
+
+func TestLinkedInGenerate(t *testing.T) {
+	ctx := testContext(t, 6, 0.1)
+	ctx.Text = NewTextGen(ctx.KB, ctx.Web, ctx.Rand)
+	li := DefaultLinkedIn()
+	if li.Network() != socialgraph.LinkedIn {
+		t.Fatal("wrong network")
+	}
+	li.Generate(ctx)
+
+	g := ctx.Graph
+	// Career profiles of skilled (even) candidates mention computer
+	// engineering vocabulary or entities; unskilled profiles are
+	// generic.
+	for _, u := range ctx.Candidates {
+		rid, ok := g.Profile(u, socialgraph.LinkedIn)
+		if !ok {
+			t.Fatalf("candidate %d has no linkedin profile", u)
+		}
+		text := g.Resource(rid).Text
+		if u%2 == 0 && len(text) < 60 {
+			t.Errorf("skilled candidate %d has a thin career profile: %q", u, text)
+		}
+	}
+}
+
+func TestDomainBiasShapesTopics(t *testing.T) {
+	if DomainBias(socialgraph.LinkedIn, kb.ComputerEngineering) <= DomainBias(socialgraph.LinkedIn, kb.Music) {
+		t.Error("linkedin must favor computer engineering over music")
+	}
+	if DomainBias(socialgraph.Facebook, kb.MoviesTV) <= DomainBias(socialgraph.Facebook, kb.Science) {
+		t.Error("facebook must favor movies over science")
+	}
+	if DomainBias(socialgraph.Twitter, kb.ComputerEngineering) <= DomainBias(socialgraph.Facebook, kb.ComputerEngineering) {
+		t.Error("twitter must favor computer engineering more than facebook")
+	}
+}
+
+func TestPickDomainRespectsInterest(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	// Candidate 0 is sport-only: apart from the off-interest share,
+	// picks must be sport.
+	sport, other, none := 0, 0, 0
+	for i := 0; i < 1000; i++ {
+		d, ok := pickDomain(ctx, ctx.Candidates[0], socialgraph.Facebook)
+		switch {
+		case !ok:
+			none++
+		case d == kb.Sport:
+			sport++
+		default:
+			other++
+		}
+	}
+	if sport < 700 {
+		t.Errorf("sport picked %d/1000", sport)
+	}
+	if other > 250 { // ≈ offInterestProb·6/7
+		t.Errorf("off-interest picked %d/1000", other)
+	}
+	// Candidate 1 has no interests: only off-interest picks succeed.
+	okCount := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := pickDomain(ctx, ctx.Candidates[1], socialgraph.Facebook); ok {
+			okCount++
+		}
+	}
+	if okCount < 100 || okCount > 250 {
+		t.Errorf("interest-free candidate picked a domain %d/1000, want ≈150", okCount)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0, 0.5, 3, 10, 80} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			k := poisson(r, mean)
+			if k < 0 {
+				t.Fatalf("negative poisson draw %d", k)
+			}
+			sum += k
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("poisson mean %v: sample mean %v", mean, got)
+		}
+	}
+	if poisson(r, -1) != 0 {
+		t.Error("negative mean must yield 0")
+	}
+}
+
+func TestClampAndScaled(t *testing.T) {
+	if clamp(-0.5, 1) != 0 || clamp(0.5, 1) != 0.5 || clamp(2, 1) != 1 {
+		t.Error("clamp wrong")
+	}
+	ctx := &Context{Scale: 2}
+	if ctx.scaled(3) != 6 {
+		t.Error("scaled wrong")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	build := func() int {
+		ctx := testContext(t, 5, 0.1)
+		ctx.Text = NewTextGen(ctx.KB, ctx.Web, rand.New(rand.NewSource(7)))
+		DefaultFacebook().Generate(ctx)
+		DefaultTwitter().Generate(ctx)
+		DefaultLinkedIn().Generate(ctx)
+		return ctx.Graph.NumResources()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("nondeterministic generation: %d vs %d resources", a, b)
+	}
+}

@@ -1,0 +1,166 @@
+package platform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"expertfind/internal/kb"
+	"expertfind/internal/langid"
+	"expertfind/internal/webcontent"
+)
+
+func newGen(seed int64) (*TextGen, *webcontent.Web) {
+	web := webcontent.NewWeb()
+	return NewTextGen(kb.Builtin(), web, rand.New(rand.NewSource(seed))), web
+}
+
+func TestTopicalPostMentionsDomainContent(t *testing.T) {
+	g, web := newGen(1)
+	k := kb.Builtin()
+	for _, d := range kb.Domains {
+		found := false
+		for i := 0; i < 20 && !found; i++ {
+			text, urls := g.TopicalPost(d)
+			// The post must contain at least one vocabulary word or
+			// entity surface of its domain.
+			for _, w := range k.Vocab(d) {
+				if strings.Contains(text, w) {
+					found = true
+				}
+			}
+			for _, e := range k.EntitiesInDomain(d) {
+				if strings.Contains(text, kb.SurfaceForm(e.Label)) {
+					found = true
+				}
+			}
+			for _, u := range urls {
+				if _, ok := web.Lookup(u); !ok {
+					t.Fatalf("unregistered url %s", u)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("domain %s: no topical content in 20 posts", d)
+		}
+	}
+}
+
+func TestTopicalPostURLRate(t *testing.T) {
+	g, _ := newGen(2)
+	withURL := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, urls := g.TopicalPost(kb.Sport)
+		if len(urls) > 0 {
+			withURL++
+		}
+	}
+	frac := float64(withURL) / n
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("url rate = %.3f, want ≈0.70", frac)
+	}
+}
+
+func TestChatterLanguageMix(t *testing.T) {
+	g, _ := newGen(3)
+	nonEnglish := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if langid.Identify(g.Chatter()) != langid.English {
+			nonEnglish++
+		}
+	}
+	frac := float64(nonEnglish) / n
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("non-english chatter rate = %.3f, want ≈0.30", frac)
+	}
+}
+
+func TestTopicalPostsAreEnglish(t *testing.T) {
+	g, _ := newGen(4)
+	for i := 0; i < 50; i++ {
+		text, _ := g.TopicalPost(kb.Science)
+		if lang := langid.Identify(text); lang != langid.English {
+			t.Errorf("topical post classified %v: %q", lang, text)
+		}
+	}
+}
+
+func TestShortBio(t *testing.T) {
+	g, _ := newGen(5)
+	topical := g.ShortBio(kb.Sport, true)
+	if topical == "" {
+		t.Fatal("empty topical bio")
+	}
+	generic := g.ShortBio(kb.Sport, false)
+	if generic == "" {
+		t.Fatal("empty generic bio")
+	}
+	// Generic bios never contain sport vocabulary.
+	for _, w := range kb.Builtin().Vocab(kb.Sport) {
+		if strings.Contains(generic, w) {
+			t.Errorf("generic bio mentions %q: %q", w, generic)
+		}
+	}
+}
+
+func TestCareerProfile(t *testing.T) {
+	g, _ := newGen(6)
+	long := g.CareerProfile([]kb.Domain{kb.ComputerEngineering, kb.Technology})
+	if len(long) < 80 {
+		t.Errorf("career profile too short: %q", long)
+	}
+	empty := g.CareerProfile(nil)
+	if empty == "" {
+		t.Error("empty-profile fallback missing")
+	}
+}
+
+func TestGroupDescAndAccountBio(t *testing.T) {
+	g, _ := newGen(7)
+	name, desc := g.GroupDesc(kb.Music)
+	if name == "" || desc == "" {
+		t.Fatalf("group = %q / %q", name, desc)
+	}
+	if !strings.Contains(name, "community") {
+		t.Errorf("group name %q", name)
+	}
+	if bio := g.AccountBio(kb.Technology); bio == "" {
+		t.Error("empty account bio")
+	}
+}
+
+func TestCityLine(t *testing.T) {
+	g, _ := newGen(8)
+	line := g.CityLine()
+	if !strings.HasPrefix(line, "living in ") {
+		t.Errorf("city line %q", line)
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"ac milan", "Ac Milan"},
+		{"php", "Php"},
+		{"", ""},
+	}
+	for _, tc := range tests {
+		if got := titleCase(tc.in); got != tc.want {
+			t.Errorf("titleCase(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSurfaceFormsAreSpottable(t *testing.T) {
+	// Every entity's generation surface must resolve back to an
+	// anchor of the KB, otherwise generated mentions would be
+	// invisible to the annotator.
+	k := kb.Builtin()
+	for _, e := range k.Entities() {
+		surface := kb.SurfaceForm(e.Label)
+		if cands, _ := k.Candidates(kb.NormalizeAnchor(surface)); cands == nil {
+			t.Errorf("surface %q of %q is not an anchor", surface, e.Label)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package platform
+
+import (
+	"fmt"
+
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+)
+
+// Twitter generates the Twitter slice of the corpus: short bios, own
+// tweets and favourites at distance 1, and — in place of groups and
+// pages — thematically focused followed accounts (§2.2) whose profiles
+// are distance-1 resources and whose tweets dominate distance 2.
+// Candidates also maintain mutual follows (friends): real-world bonds
+// whose content is off-topic w.r.t. the candidate's expertise, which
+// is why including it does not help (§3.3.3, Table 2).
+type Twitter struct {
+	// MeanOwnTweets is the average number of tweets per candidate.
+	MeanOwnTweets float64
+	// MeanFavorites is the average number of favourited tweets per
+	// candidate.
+	MeanFavorites float64
+	// AccountsPerDomain is the number of thematic accounts per domain.
+	AccountsPerDomain int
+	// MeanAccountTweets is the average number of tweets per thematic
+	// account.
+	MeanAccountTweets float64
+	// FriendProb is the probability that two candidates mutually
+	// follow each other.
+	FriendProb float64
+	// FriendAccounts is the number of external friend users (mutual
+	// follows) per candidate, drawn Poisson.
+	FriendAccounts float64
+	// MeanFriendTweets is the average number of tweets per external
+	// friend.
+	MeanFriendTweets float64
+	// ChatterProb is the probability that an own tweet is generic
+	// chatter.
+	ChatterProb float64
+}
+
+// DefaultTwitter returns the calibrated generator.
+func DefaultTwitter() *Twitter {
+	return &Twitter{
+		MeanOwnTweets:     60,
+		MeanFavorites:     15,
+		AccountsPerDomain: 10,
+		MeanAccountTweets: 60,
+		FriendProb:        0.20,
+		FriendAccounts:    3,
+		MeanFriendTweets:  40,
+		ChatterProb:       0.30,
+	}
+}
+
+// Network implements Generator.
+func (*Twitter) Network() socialgraph.Network { return socialgraph.Twitter }
+
+// Generate implements Generator.
+func (tw *Twitter) Generate(ctx *Context) {
+	g, r := ctx.Graph, ctx.Rand
+	net := socialgraph.Twitter
+
+	// Candidate profiles: short bios, topical more often than on
+	// Facebook (Twitter bios tend to state interests).
+	for _, u := range ctx.Candidates {
+		d, ok := topInterest(ctx, u)
+		topical := ok && r.Float64() < 0.5+0.4*ctx.Interest(u, d)
+		g.SetProfile(u, net, ctx.Text.ShortBio(d, topical))
+	}
+
+	// Thematic accounts: topical profile + a stream of topical tweets.
+	accountsByDomain := make(map[kb.Domain][]socialgraph.UserID)
+	accountTweets := make(map[socialgraph.UserID][]socialgraph.ResourceID)
+	for _, d := range kb.Domains {
+		for ai := 0; ai < tw.AccountsPerDomain; ai++ {
+			acc := g.AddUser(fmt.Sprintf("tw-account-%s-%d", d, ai), false)
+			g.SetProfile(acc, net, ctx.Text.AccountBio(d))
+			accountsByDomain[d] = append(accountsByDomain[d], acc)
+			n := poisson(r, ctx.scaled(tw.MeanAccountTweets))
+			for ti := 0; ti < n; ti++ {
+				text, urls := ctx.Text.TopicalPost(d)
+				if r.Float64() < 0.1 {
+					text = ctx.Text.Chatter()
+					urls = nil
+				}
+				rid := g.AddResource(net, socialgraph.KindTweet, acc, text, urls...)
+				g.Owns(acc, rid)
+				accountTweets[acc] = append(accountTweets[acc], rid)
+			}
+		}
+	}
+
+	// Candidate ↔ candidate friendships (mutual follows).
+	for i, a := range ctx.Candidates {
+		for _, b := range ctx.Candidates[i+1:] {
+			if r.Float64() < tw.FriendProb {
+				g.Befriend(a, b, net)
+			}
+		}
+	}
+
+	for _, u := range ctx.Candidates {
+		// Own tweets.
+		nTweets := poisson(r, ctx.scaled(tw.MeanOwnTweets)*ctx.Activity(u))
+		for ti := 0; ti < nTweets; ti++ {
+			var text string
+			var urls []string
+			if d, ok := pickDomain(ctx, u, net); ok && r.Float64() > tw.ChatterProb {
+				text, urls = ctx.Text.TopicalPost(d)
+			} else {
+				text = ctx.Text.Chatter()
+			}
+			rid := g.AddResource(net, socialgraph.KindTweet, u, text, urls...)
+			g.Owns(u, rid)
+		}
+
+		// Follows: thematic accounts by interest (selective, for the
+		// same distance-2 flattening reason as Facebook memberships).
+		var followedPool []socialgraph.UserID
+		for _, d := range kb.Domains {
+			p := clamp(ctx.Interest(u, d)*DomainBias(net, d)*0.45, 0.8)
+			for _, acc := range accountsByDomain[d] {
+				if r.Float64() < p {
+					g.Follows(u, acc, net)
+					followedPool = append(followedPool, acc)
+				}
+			}
+		}
+		// A couple of off-interest follows as noise.
+		for k := 0; k < 2; k++ {
+			d := kb.Domains[r.Intn(len(kb.Domains))]
+			accs := accountsByDomain[d]
+			acc := accs[r.Intn(len(accs))]
+			if !g.FollowsEdge(u, acc, net) {
+				g.Follows(u, acc, net)
+				followedPool = append(followedPool, acc)
+			}
+		}
+
+		// External friends: mutual follows with their own off-topic
+		// streams (real-world bonds do not imply shared expertise).
+		nFriends := poisson(r, tw.FriendAccounts)
+		for fi := 0; fi < nFriends; fi++ {
+			fr := g.AddUser(fmt.Sprintf("tw-friend-%d-%d", u, fi), false)
+			g.SetProfile(fr, net, ctx.Text.ShortBio(randomDomain(ctx), r.Float64() < 0.3))
+			g.Befriend(u, fr, net)
+			n := poisson(r, ctx.scaled(tw.MeanFriendTweets))
+			for ti := 0; ti < n; ti++ {
+				var text string
+				var urls []string
+				if r.Float64() < 0.5 {
+					text, urls = ctx.Text.TopicalPost(randomDomain(ctx))
+				} else {
+					text = ctx.Text.Chatter()
+				}
+				rid := g.AddResource(net, socialgraph.KindTweet, fr, text, urls...)
+				g.Owns(fr, rid)
+			}
+		}
+
+		// Favourites: annotate tweets from followed accounts.
+		nFavs := poisson(r, ctx.scaled(tw.MeanFavorites)*ctx.Activity(u))
+		for li := 0; li < nFavs && len(followedPool) > 0; li++ {
+			acc := followedPool[r.Intn(len(followedPool))]
+			tweets := accountTweets[acc]
+			if len(tweets) == 0 {
+				continue
+			}
+			g.Annotates(u, tweets[r.Intn(len(tweets))])
+		}
+	}
+}
+
+func randomDomain(ctx *Context) kb.Domain {
+	return kb.Domains[ctx.Rand.Intn(len(kb.Domains))]
+}

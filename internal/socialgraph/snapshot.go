@@ -1,0 +1,217 @@
+package socialgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot is a plain, serialization-friendly copy of a Graph: all
+// nodes and edges of the meta-model as flat slices, with stable IDs.
+// It is the interchange format used by the corpus save/load layer.
+type Snapshot struct {
+	Users      []User        `json:"users"`
+	Resources  []Resource    `json:"resources"`
+	Containers []Container   `json:"containers"`
+	Profiles   []ProfileEdge `json:"profiles"`
+	Owns       []UserRes     `json:"owns"`
+	Creates    []UserRes     `json:"creates"`
+	Annotates  []UserRes     `json:"annotates"`
+	RelatesTo  []UserCont    `json:"relates_to"`
+	Contains   []ContRes     `json:"contains"`
+	Follows    []FollowEdge  `json:"follows"`
+}
+
+// ProfileEdge links a user to its profile resource on a network.
+type ProfileEdge struct {
+	User     UserID     `json:"user"`
+	Network  Network    `json:"network"`
+	Resource ResourceID `json:"resource"`
+}
+
+// UserRes is a user→resource edge.
+type UserRes struct {
+	User     UserID     `json:"user"`
+	Resource ResourceID `json:"resource"`
+}
+
+// UserCont is a user→container edge.
+type UserCont struct {
+	User      UserID      `json:"user"`
+	Container ContainerID `json:"container"`
+}
+
+// ContRes is a container→resource edge.
+type ContRes struct {
+	Container ContainerID `json:"container"`
+	Resource  ResourceID  `json:"resource"`
+}
+
+// FollowEdge is a directed social relationship on a network.
+type FollowEdge struct {
+	From    UserID  `json:"from"`
+	To      UserID  `json:"to"`
+	Network Network `json:"network"`
+}
+
+// Snapshot exports the graph. Edge lists are emitted in deterministic
+// order, so equal graphs produce identical snapshots.
+func (g *Graph) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Users:      append([]User(nil), g.users...),
+		Resources:  append([]Resource(nil), g.resources...),
+		Containers: append([]Container(nil), g.containers...),
+	}
+	for u := UserID(0); int(u) < len(g.users); u++ {
+		for _, net := range Networks {
+			if rid, ok := g.profiles[profileKey{u, net}]; ok {
+				s.Profiles = append(s.Profiles, ProfileEdge{User: u, Network: net, Resource: rid})
+			}
+		}
+		for _, r := range g.owns[u] {
+			s.Owns = append(s.Owns, UserRes{User: u, Resource: r})
+		}
+		for _, r := range g.creates[u] {
+			s.Creates = append(s.Creates, UserRes{User: u, Resource: r})
+		}
+		for _, r := range g.annotates[u] {
+			s.Annotates = append(s.Annotates, UserRes{User: u, Resource: r})
+		}
+		for _, c := range g.relatesTo[u] {
+			s.RelatesTo = append(s.RelatesTo, UserCont{User: u, Container: c})
+		}
+	}
+	for c := ContainerID(0); int(c) < len(g.containers); c++ {
+		for _, r := range g.contains[c] {
+			s.Contains = append(s.Contains, ContRes{Container: c, Resource: r})
+		}
+	}
+	for _, net := range Networks {
+		m := g.follows[net]
+		froms := make([]UserID, 0, len(m))
+		for u := range m {
+			froms = append(froms, u)
+		}
+		sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+		for _, from := range froms {
+			tos := make([]UserID, 0, len(m[from]))
+			for to := range m[from] {
+				tos = append(tos, to)
+			}
+			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+			for _, to := range tos {
+				s.Follows = append(s.Follows, FollowEdge{From: from, To: to, Network: net})
+			}
+		}
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a graph from a snapshot, validating that all
+// referenced IDs exist and are consistent.
+func FromSnapshot(s *Snapshot) (*Graph, error) {
+	g := New()
+	for i, u := range s.Users {
+		if int(u.ID) != i {
+			return nil, fmt.Errorf("socialgraph: user %d has ID %d", i, u.ID)
+		}
+		g.users = append(g.users, u)
+	}
+	for i, r := range s.Resources {
+		if int(r.ID) != i {
+			return nil, fmt.Errorf("socialgraph: resource %d has ID %d", i, r.ID)
+		}
+		if err := g.checkUser(r.Creator); err != nil {
+			return nil, fmt.Errorf("socialgraph: resource %d: %w", i, err)
+		}
+		if r.Container != NoContainer {
+			if int(r.Container) < 0 || int(r.Container) >= len(s.Containers) {
+				return nil, fmt.Errorf("socialgraph: resource %d references container %d", i, r.Container)
+			}
+		}
+		g.resources = append(g.resources, r)
+	}
+	for i, c := range s.Containers {
+		if int(c.ID) != i {
+			return nil, fmt.Errorf("socialgraph: container %d has ID %d", i, c.ID)
+		}
+		if err := g.checkResource(c.Desc); err != nil {
+			return nil, fmt.Errorf("socialgraph: container %d description: %w", i, err)
+		}
+		g.containers = append(g.containers, c)
+	}
+	for _, p := range s.Profiles {
+		if err := g.checkUser(p.User); err != nil {
+			return nil, err
+		}
+		if err := g.checkResource(p.Resource); err != nil {
+			return nil, err
+		}
+		g.profiles[profileKey{p.User, p.Network}] = p.Resource
+	}
+	addUR := func(dst map[UserID][]ResourceID, edges []UserRes) error {
+		for _, e := range edges {
+			if err := g.checkUser(e.User); err != nil {
+				return err
+			}
+			if err := g.checkResource(e.Resource); err != nil {
+				return err
+			}
+			dst[e.User] = append(dst[e.User], e.Resource)
+		}
+		return nil
+	}
+	if err := addUR(g.owns, s.Owns); err != nil {
+		return nil, err
+	}
+	if err := addUR(g.creates, s.Creates); err != nil {
+		return nil, err
+	}
+	if err := addUR(g.annotates, s.Annotates); err != nil {
+		return nil, err
+	}
+	for _, e := range s.RelatesTo {
+		if err := g.checkUser(e.User); err != nil {
+			return nil, err
+		}
+		if int(e.Container) < 0 || int(e.Container) >= len(g.containers) {
+			return nil, fmt.Errorf("socialgraph: relatesTo references container %d", e.Container)
+		}
+		g.relatesTo[e.User] = append(g.relatesTo[e.User], e.Container)
+	}
+	for _, e := range s.Contains {
+		if int(e.Container) < 0 || int(e.Container) >= len(g.containers) {
+			return nil, fmt.Errorf("socialgraph: contains references container %d", e.Container)
+		}
+		if err := g.checkResource(e.Resource); err != nil {
+			return nil, err
+		}
+		g.contains[e.Container] = append(g.contains[e.Container], e.Resource)
+	}
+	for _, e := range s.Follows {
+		if err := g.checkUser(e.From); err != nil {
+			return nil, err
+		}
+		if err := g.checkUser(e.To); err != nil {
+			return nil, err
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("socialgraph: self-follow for user %d", e.From)
+		}
+		g.Follows(e.From, e.To, e.Network)
+	}
+	return g, nil
+}
+
+func (g *Graph) checkUser(u UserID) error {
+	if int(u) < 0 || int(u) >= len(g.users) {
+		return fmt.Errorf("unknown user %d", u)
+	}
+	return nil
+}
+
+func (g *Graph) checkResource(r ResourceID) error {
+	if int(r) < 0 || int(r) >= len(g.resources) {
+		return fmt.Errorf("unknown resource %d", r)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := buildPaperExample()
+	snap := f.g.Snapshot()
+	g2, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumUsers() != f.g.NumUsers() || g2.NumResources() != f.g.NumResources() ||
+		g2.NumContainers() != f.g.NumContainers() {
+		t.Fatal("sizes differ after round trip")
+	}
+	// Reachability must be preserved exactly for every user and
+	// traversal configuration.
+	for u := UserID(0); int(u) < f.g.NumUsers(); u++ {
+		for _, opts := range []TraversalOptions{
+			{MaxDistance: 0},
+			{MaxDistance: 1},
+			{MaxDistance: 2},
+			{MaxDistance: 2, IncludeFriends: true},
+			{MaxDistance: 2, Networks: []Network{Twitter}},
+		} {
+			a := f.g.ResourcesWithin(u, opts)
+			b := g2.ResourcesWithin(u, opts)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("user %d opts %+v: %v vs %v", u, opts, a, b)
+			}
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	f := buildPaperExample()
+	a := f.g.Snapshot()
+	b := f.g.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("snapshots of the same graph differ")
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	base := buildPaperExample().g.Snapshot()
+
+	corrupt := func(mutate func(*Snapshot)) error {
+		f := buildPaperExample()
+		s := f.g.Snapshot()
+		mutate(s)
+		_, err := FromSnapshot(s)
+		return err
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"user id gap", func(s *Snapshot) { s.Users[1].ID = 99 }},
+		{"resource id gap", func(s *Snapshot) { s.Resources[0].ID = 99 }},
+		{"container id gap", func(s *Snapshot) { s.Containers[0].ID = 99 }},
+		{"resource bad creator", func(s *Snapshot) { s.Resources[0].Creator = 99 }},
+		{"resource bad container", func(s *Snapshot) { s.Resources[0].Container = 99 }},
+		{"container bad desc", func(s *Snapshot) { s.Containers[0].Desc = 9999 }},
+		{"profile bad user", func(s *Snapshot) { s.Profiles[0].User = 99 }},
+		{"profile bad resource", func(s *Snapshot) { s.Profiles[0].Resource = 9999 }},
+		{"owns bad resource", func(s *Snapshot) { s.Owns[0].Resource = 9999 }},
+		{"relatesTo bad container", func(s *Snapshot) { s.RelatesTo[0].Container = 99 }},
+		{"contains bad resource", func(s *Snapshot) { s.Contains[0].Resource = 9999 }},
+		{"self follow", func(s *Snapshot) { s.Follows[0].To = s.Follows[0].From }},
+		{"follow bad user", func(s *Snapshot) { s.Follows[0].To = 99 }},
+	}
+	for _, tc := range cases {
+		if err := corrupt(tc.mutate); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// The untouched snapshot must still load.
+	if _, err := FromSnapshot(base); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+}
+
+// randomGraph builds a random but valid graph for property tests.
+func randomGraph(r *rand.Rand) *Graph {
+	g := New()
+	nUsers := 3 + r.Intn(10)
+	users := make([]UserID, nUsers)
+	for i := range users {
+		users[i] = g.AddUser("u", i%2 == 0)
+	}
+	for _, u := range users {
+		for _, net := range Networks {
+			if r.Intn(2) == 0 {
+				g.SetProfile(u, net, "profile text")
+			}
+		}
+	}
+	nCont := r.Intn(4)
+	conts := make([]ContainerID, 0, nCont)
+	for i := 0; i < nCont; i++ {
+		owner := users[r.Intn(nUsers)]
+		conts = append(conts, g.AddContainer(Facebook, ContainerGroup, owner, "grp", "desc"))
+	}
+	for i := 0; i < 5+r.Intn(20); i++ {
+		creator := users[r.Intn(nUsers)]
+		if len(conts) > 0 && r.Intn(3) == 0 {
+			g.AddContainedResource(KindGroupPost, conts[r.Intn(len(conts))], creator, "post")
+		} else {
+			rid := g.AddResource(Twitter, KindTweet, creator, "tweet")
+			g.Owns(creator, rid)
+			if r.Intn(4) == 0 {
+				g.Annotates(users[r.Intn(nUsers)], rid)
+			}
+		}
+	}
+	for _, u := range users {
+		if len(conts) > 0 && r.Intn(2) == 0 {
+			g.RelatesTo(u, conts[r.Intn(len(conts))])
+		}
+	}
+	for i := 0; i < nUsers; i++ {
+		a, b := users[r.Intn(nUsers)], users[r.Intn(nUsers)]
+		if a != b {
+			g.Follows(a, b, Twitter)
+		}
+	}
+	return g
+}
+
+// Property: snapshot round trips preserve reachability on random
+// graphs.
+func TestSnapshotRoundTripRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		g2, err := FromSnapshot(g.Snapshot())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for u := UserID(0); int(u) < g.NumUsers(); u++ {
+			a := g.ResourcesWithin(u, TraversalOptions{MaxDistance: 2})
+			b := g2.ResourcesWithin(u, TraversalOptions{MaxDistance: 2})
+			if !reflect.DeepEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits at MaxDistance d are a subset of hits at d+1, and
+// recorded distances never increase when the bound grows.
+func TestTraversalMonotoneInDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		for u := UserID(0); int(u) < g.NumUsers(); u++ {
+			prev := map[ResourceID]int{}
+			for d := 0; d <= 2; d++ {
+				cur := map[ResourceID]int{}
+				for _, h := range g.ResourcesWithin(u, TraversalOptions{MaxDistance: d}) {
+					cur[h.Resource] = h.Distance
+					if h.Distance > d {
+						return false
+					}
+				}
+				for rID, dist := range prev {
+					got, ok := cur[rID]
+					if !ok || got > dist {
+						return false // lost a resource or demoted it
+					}
+				}
+				prev = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IncludeFriends only adds hits, never removes or demotes.
+func TestTraversalFriendsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		for u := UserID(0); int(u) < g.NumUsers(); u++ {
+			base := map[ResourceID]int{}
+			for _, h := range g.ResourcesWithin(u, TraversalOptions{MaxDistance: 2}) {
+				base[h.Resource] = h.Distance
+			}
+			with := map[ResourceID]int{}
+			for _, h := range g.ResourcesWithin(u, TraversalOptions{MaxDistance: 2, IncludeFriends: true}) {
+				with[h.Resource] = h.Distance
+			}
+			for rID, dist := range base {
+				got, ok := with[rID]
+				if !ok || got > dist {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

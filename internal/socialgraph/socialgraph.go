@@ -1,0 +1,400 @@
+// Package socialgraph implements the platform-independent social
+// network meta-model of the paper (Fig. 2): User Profiles, Resources,
+// Resource Containers and URLs, connected by social relationships
+// (friendship / follows), creates, owns, annotates, relatesTo and
+// contains edges.
+//
+// Every textual object — including user profiles and container
+// descriptions — is represented as a Resource, so that the same
+// indexing and matching machinery applies uniformly; the paper treats
+// profiles exactly this way (they are the distance-0 resources of
+// Table 1).
+//
+// The central query is ResourcesWithin, which enumerates the resources
+// related to an expert candidate at graph distance 0, 1 and 2
+// following precisely the paths of Table 1.
+package socialgraph
+
+import "fmt"
+
+// Network identifies a social platform.
+type Network string
+
+// The social networks considered in the paper.
+const (
+	Facebook Network = "facebook"
+	Twitter  Network = "twitter"
+	LinkedIn Network = "linkedin"
+)
+
+// Networks lists all platforms in the paper's order.
+var Networks = []Network{Facebook, Twitter, LinkedIn}
+
+// UserID identifies a user (a person, possibly present on several
+// networks).
+type UserID int32
+
+// ResourceID identifies a resource.
+type ResourceID int32
+
+// ContainerID identifies a resource container.
+type ContainerID int32
+
+// NoContainer marks a resource that lives outside any container.
+const NoContainer ContainerID = -1
+
+// ResourceKind classifies resources by their platform role.
+type ResourceKind uint8
+
+// Resource kinds.
+const (
+	KindProfile       ResourceKind = iota // user profile text (distance-0 resource)
+	KindPost                              // Facebook status update / wall post
+	KindTweet                             // Twitter tweet
+	KindGroupPost                         // post inside a group
+	KindPagePost                          // post on a page
+	KindUpdate                            // LinkedIn status update
+	KindContainerDesc                     // textual description of a container
+)
+
+// String returns the kind name.
+func (k ResourceKind) String() string {
+	switch k {
+	case KindProfile:
+		return "profile"
+	case KindPost:
+		return "post"
+	case KindTweet:
+		return "tweet"
+	case KindGroupPost:
+		return "group-post"
+	case KindPagePost:
+		return "page-post"
+	case KindUpdate:
+		return "update"
+	case KindContainerDesc:
+		return "container-desc"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// User is a person registered on one or more networks.
+type User struct {
+	ID        UserID
+	Name      string
+	Candidate bool // member of the expert-candidate pool CE
+}
+
+// Resource is any informative material found inside a social platform.
+type Resource struct {
+	ID        ResourceID
+	Network   Network
+	Kind      ResourceKind
+	Text      string
+	URLs      []string    // links to external Web pages
+	Creator   UserID      // who authored the resource
+	Container ContainerID // NoContainer when standalone
+}
+
+// ContainerKind classifies resource containers.
+type ContainerKind uint8
+
+// Container kinds.
+const (
+	ContainerGroup ContainerKind = iota // Facebook / LinkedIn group
+	ContainerPage                       // Facebook page
+)
+
+// String returns the container kind name.
+func (k ContainerKind) String() string {
+	if k == ContainerPage {
+		return "page"
+	}
+	return "group"
+}
+
+// Container is a logical aggregator of resources (group, page),
+// typically focused on a specific topic or real-world entity.
+type Container struct {
+	ID      ContainerID
+	Network Network
+	Kind    ContainerKind
+	Name    string
+	Desc    ResourceID // the description, itself a resource
+}
+
+type profileKey struct {
+	user UserID
+	net  Network
+}
+
+// Graph is a mutable in-memory social graph spanning all networks.
+// Graph methods panic when given identifiers that were not returned
+// by the corresponding Add method, mirroring slice indexing: the graph
+// is built programmatically by generators and loaders that control
+// their inputs.
+type Graph struct {
+	users      []User
+	resources  []Resource
+	containers []Container
+
+	profiles map[profileKey]ResourceID
+
+	owns      map[UserID][]ResourceID
+	creates   map[UserID][]ResourceID
+	annotates map[UserID][]ResourceID
+	relatesTo map[UserID][]ContainerID
+	contains  map[ContainerID][]ResourceID
+	follows   map[Network]map[UserID]map[UserID]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		profiles:  make(map[profileKey]ResourceID),
+		owns:      make(map[UserID][]ResourceID),
+		creates:   make(map[UserID][]ResourceID),
+		annotates: make(map[UserID][]ResourceID),
+		relatesTo: make(map[UserID][]ContainerID),
+		contains:  make(map[ContainerID][]ResourceID),
+		follows:   make(map[Network]map[UserID]map[UserID]bool),
+	}
+}
+
+// AddUser registers a user and returns its ID.
+func (g *Graph) AddUser(name string, candidate bool) UserID {
+	id := UserID(len(g.users))
+	g.users = append(g.users, User{ID: id, Name: name, Candidate: candidate})
+	return id
+}
+
+// SetProfile attaches profile text for user on a network, creating
+// the backing profile resource. A user has at most one profile per
+// network; setting it twice replaces the text.
+func (g *Graph) SetProfile(u UserID, net Network, text string, urls ...string) ResourceID {
+	g.user(u)
+	key := profileKey{u, net}
+	if rid, ok := g.profiles[key]; ok {
+		g.resources[rid].Text = text
+		g.resources[rid].URLs = urls
+		return rid
+	}
+	rid := g.addResource(Resource{
+		Network: net, Kind: KindProfile, Text: text, URLs: urls,
+		Creator: u, Container: NoContainer,
+	})
+	g.profiles[key] = rid
+	return rid
+}
+
+// Profile returns the profile resource of user u on net, if any.
+func (g *Graph) Profile(u UserID, net Network) (ResourceID, bool) {
+	rid, ok := g.profiles[profileKey{u, net}]
+	return rid, ok
+}
+
+// AddResource registers a standalone resource created by creator and
+// returns its ID. The creates edge is recorded automatically.
+func (g *Graph) AddResource(net Network, kind ResourceKind, creator UserID, text string, urls ...string) ResourceID {
+	g.user(creator)
+	rid := g.addResource(Resource{
+		Network: net, Kind: kind, Text: text, URLs: urls,
+		Creator: creator, Container: NoContainer,
+	})
+	g.creates[creator] = append(g.creates[creator], rid)
+	return rid
+}
+
+// AddContainer registers a container with its textual description
+// (authored by owner, typically the group/page creator) and returns
+// its ID.
+func (g *Graph) AddContainer(net Network, kind ContainerKind, owner UserID, name, desc string) ContainerID {
+	g.user(owner)
+	descID := g.addResource(Resource{
+		Network: net, Kind: KindContainerDesc, Text: desc,
+		Creator: owner, Container: NoContainer,
+	})
+	cid := ContainerID(len(g.containers))
+	g.containers = append(g.containers, Container{
+		ID: cid, Network: net, Kind: kind, Name: name, Desc: descID,
+	})
+	return cid
+}
+
+// AddContainedResource registers a resource inside container c,
+// created by creator, recording both the creates and contains edges.
+func (g *Graph) AddContainedResource(kind ResourceKind, c ContainerID, creator UserID, text string, urls ...string) ResourceID {
+	g.user(creator)
+	cont := g.container(c)
+	rid := g.addResource(Resource{
+		Network: cont.Network, Kind: kind, Text: text, URLs: urls,
+		Creator: creator, Container: c,
+	})
+	g.creates[creator] = append(g.creates[creator], rid)
+	g.contains[c] = append(g.contains[c], rid)
+	return rid
+}
+
+func (g *Graph) addResource(r Resource) ResourceID {
+	r.ID = ResourceID(len(g.resources))
+	g.resources = append(g.resources, r)
+	return r.ID
+}
+
+// Owns records that the resource appears on u's wall or stream
+// (published there, possibly created by someone else).
+func (g *Graph) Owns(u UserID, r ResourceID) {
+	g.user(u)
+	g.resource(r)
+	g.owns[u] = append(g.owns[u], r)
+}
+
+// Annotates records that u liked / marked as favourite the resource.
+func (g *Graph) Annotates(u UserID, r ResourceID) {
+	g.user(u)
+	g.resource(r)
+	g.annotates[u] = append(g.annotates[u], r)
+}
+
+// RelatesTo records that u belongs to (or likes) the container.
+func (g *Graph) RelatesTo(u UserID, c ContainerID) {
+	g.user(u)
+	g.container(c)
+	g.relatesTo[u] = append(g.relatesTo[u], c)
+}
+
+// Follows records the directed social relationship a → b on net.
+// A bidirectional pair of Follows edges constitutes a friendship
+// (paper §2.2): Facebook friendships are stored as mutual follows.
+func (g *Graph) Follows(a, b UserID, net Network) {
+	g.user(a)
+	g.user(b)
+	if a == b {
+		panic("socialgraph: self-follow")
+	}
+	m := g.follows[net]
+	if m == nil {
+		m = make(map[UserID]map[UserID]bool)
+		g.follows[net] = m
+	}
+	if m[a] == nil {
+		m[a] = make(map[UserID]bool)
+	}
+	m[a][b] = true
+}
+
+// Befriend records a bidirectional relationship on net.
+func (g *Graph) Befriend(a, b UserID, net Network) {
+	g.Follows(a, b, net)
+	g.Follows(b, a, net)
+}
+
+// IsFriend reports whether a and b mutually follow each other on net.
+func (g *Graph) IsFriend(a, b UserID, net Network) bool {
+	m := g.follows[net]
+	return m != nil && m[a][b] && m[b][a]
+}
+
+// FollowsEdge reports whether the directed edge a → b exists on net.
+func (g *Graph) FollowsEdge(a, b UserID, net Network) bool {
+	m := g.follows[net]
+	return m != nil && m[a][b]
+}
+
+// User returns the user record.
+func (g *Graph) User(u UserID) User { return *g.user(u) }
+
+// Resource returns the resource record.
+func (g *Graph) Resource(r ResourceID) Resource { return *g.resource(r) }
+
+// Container returns the container record.
+func (g *Graph) Container(c ContainerID) Container { return *g.container(c) }
+
+// NumUsers returns the number of registered users.
+func (g *Graph) NumUsers() int { return len(g.users) }
+
+// NumResources returns the number of resources, profiles and container
+// descriptions included.
+func (g *Graph) NumResources() int { return len(g.resources) }
+
+// NumContainers returns the number of containers.
+func (g *Graph) NumContainers() int { return len(g.containers) }
+
+// ContainedResources returns the resources contained in c (a copy).
+func (g *Graph) ContainedResources(c ContainerID) []ResourceID {
+	g.container(c)
+	out := make([]ResourceID, len(g.contains[c]))
+	copy(out, g.contains[c])
+	return out
+}
+
+// OwnedBy returns the resources on u's wall or stream (a copy).
+func (g *Graph) OwnedBy(u UserID) []ResourceID {
+	g.user(u)
+	out := make([]ResourceID, len(g.owns[u]))
+	copy(out, g.owns[u])
+	return out
+}
+
+// CreatedBy returns the resources authored by u (a copy).
+func (g *Graph) CreatedBy(u UserID) []ResourceID {
+	g.user(u)
+	out := make([]ResourceID, len(g.creates[u]))
+	copy(out, g.creates[u])
+	return out
+}
+
+// AnnotatedBy returns the resources u liked or favourited (a copy).
+func (g *Graph) AnnotatedBy(u UserID) []ResourceID {
+	g.user(u)
+	out := make([]ResourceID, len(g.annotates[u]))
+	copy(out, g.annotates[u])
+	return out
+}
+
+// RelatedContainers returns the containers u relates to (a copy).
+func (g *Graph) RelatedContainers(u UserID) []ContainerID {
+	g.user(u)
+	out := make([]ContainerID, len(g.relatesTo[u]))
+	copy(out, g.relatesTo[u])
+	return out
+}
+
+// Users returns all users.
+func (g *Graph) Users() []User {
+	out := make([]User, len(g.users))
+	copy(out, g.users)
+	return out
+}
+
+// Candidates returns the expert-candidate pool CE, ordered by ID.
+func (g *Graph) Candidates() []UserID {
+	var out []UserID
+	for _, u := range g.users {
+		if u.Candidate {
+			out = append(out, u.ID)
+		}
+	}
+	return out
+}
+
+func (g *Graph) user(u UserID) *User {
+	if int(u) < 0 || int(u) >= len(g.users) {
+		panic(fmt.Sprintf("socialgraph: unknown user %d", u))
+	}
+	return &g.users[u]
+}
+
+func (g *Graph) resource(r ResourceID) *Resource {
+	if int(r) < 0 || int(r) >= len(g.resources) {
+		panic(fmt.Sprintf("socialgraph: unknown resource %d", r))
+	}
+	return &g.resources[r]
+}
+
+func (g *Graph) container(c ContainerID) *Container {
+	if int(c) < 0 || int(c) >= len(g.containers) {
+		panic(fmt.Sprintf("socialgraph: unknown container %d", c))
+	}
+	return &g.containers[c]
+}

@@ -1,0 +1,212 @@
+package socialgraph
+
+import "sort"
+
+// TraversalOptions controls the reach of the social-graph exploration
+// around an expert candidate (paper §2.2, Table 1).
+type TraversalOptions struct {
+	// MaxDistance is the maximum graph distance of the resources to
+	// collect: 0 (profile only), 1, or 2. Distances are cumulative, as
+	// in the paper's experiments: distance 2 includes distances 0 and 1.
+	MaxDistance int
+	// Networks restricts the exploration to the given platforms; nil
+	// means all of them.
+	Networks []Network
+	// IncludeFriends extends the follow-based paths to bidirectional
+	// (friendship) relationships. The paper excludes friends by
+	// default, having verified empirically (§3.3.3, Table 2) that
+	// their resources do not improve the matching.
+	IncludeFriends bool
+}
+
+// Hit is a resource reached by the traversal, with its minimal graph
+// distance from the candidate.
+type Hit struct {
+	Resource ResourceID
+	Distance int
+}
+
+// ResourcesWithin enumerates the resources related to candidate u at
+// distance ≤ opts.MaxDistance, following the paths of Table 1:
+//
+//	distance 0: the candidate's profile(s);
+//	distance 1: resources the candidate owns/creates/annotates,
+//	            descriptions of containers the candidate relates to,
+//	            profiles of users the candidate follows;
+//	distance 2: resources contained in the candidate's containers,
+//	            resources owned/created/annotated by followed users,
+//	            descriptions of the followed users' containers,
+//	            profiles of users followed by followed users.
+//
+// A resource reachable through several paths is reported once at its
+// minimal distance. Hits are ordered by (distance, resource ID).
+func (g *Graph) ResourcesWithin(u UserID, opts TraversalOptions) []Hit {
+	g.user(u)
+	nets := opts.Networks
+	if nets == nil {
+		nets = Networks
+	}
+	inNet := make(map[Network]bool, len(nets))
+	for _, n := range nets {
+		inNet[n] = true
+	}
+
+	dist := make(map[ResourceID]int)
+	record := func(r ResourceID, d int) {
+		if !inNet[g.resources[r].Network] {
+			return
+		}
+		if prev, ok := dist[r]; !ok || d < prev {
+			dist[r] = d
+		}
+	}
+
+	// Distance 0: candidate profiles.
+	for _, net := range nets {
+		if rid, ok := g.profiles[profileKey{u, net}]; ok {
+			record(rid, 0)
+		}
+	}
+
+	if opts.MaxDistance >= 1 {
+		for _, r := range g.owns[u] {
+			record(r, 1)
+		}
+		for _, r := range g.creates[u] {
+			record(r, 1)
+		}
+		for _, r := range g.annotates[u] {
+			record(r, 1)
+		}
+		for _, c := range g.relatesTo[u] {
+			record(g.containers[c].Desc, 1)
+		}
+		for _, net := range nets {
+			for _, v := range g.followed(u, net, opts.IncludeFriends) {
+				if rid, ok := g.profiles[profileKey{v, net}]; ok {
+					record(rid, 1)
+				}
+			}
+		}
+	}
+
+	if opts.MaxDistance >= 2 {
+		for _, c := range g.relatesTo[u] {
+			for _, r := range g.contains[c] {
+				record(r, 2)
+			}
+		}
+		for _, net := range nets {
+			for _, v := range g.followed(u, net, opts.IncludeFriends) {
+				for _, r := range g.owns[v] {
+					record(r, 2)
+				}
+				for _, r := range g.creates[v] {
+					record(r, 2)
+				}
+				for _, r := range g.annotates[v] {
+					record(r, 2)
+				}
+				for _, c := range g.relatesTo[v] {
+					record(g.containers[c].Desc, 2)
+				}
+				for _, w := range g.followed(v, net, opts.IncludeFriends) {
+					if w == u {
+						continue
+					}
+					if rid, ok := g.profiles[profileKey{w, net}]; ok {
+						record(rid, 2)
+					}
+				}
+			}
+		}
+	}
+
+	hits := make([]Hit, 0, len(dist))
+	for r, d := range dist {
+		hits = append(hits, Hit{Resource: r, Distance: d})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Distance != hits[j].Distance {
+			return hits[i].Distance < hits[j].Distance
+		}
+		return hits[i].Resource < hits[j].Resource
+	})
+	return hits
+}
+
+// followed returns the users v that u follows on net. When
+// includeFriends is false, bidirectional (friendship) relationships
+// are excluded: only genuine followed users — the thematically
+// focused accounts of §2.2 — are returned. The result is sorted.
+func (g *Graph) followed(u UserID, net Network, includeFriends bool) []UserID {
+	m := g.follows[net]
+	if m == nil {
+		return nil
+	}
+	var out []UserID
+	for v := range m[u] {
+		if !includeFriends && m[v][u] {
+			continue // mutual: a friend, not a followed user
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Followed exposes the followed-user list of u on net (friends
+// excluded unless includeFriends).
+func (g *Graph) Followed(u UserID, net Network, includeFriends bool) []UserID {
+	g.user(u)
+	return g.followed(u, net, includeFriends)
+}
+
+// CandidateDistance associates an expert candidate with the distance
+// at which a resource was reached from it.
+type CandidateDistance struct {
+	Candidate UserID
+	Distance  int
+}
+
+// ResourceCandidateMap inverts ResourcesWithin over a set of
+// candidates: for every reachable resource it lists the candidates
+// that reach it, with their minimal distance. This is the structure
+// the expert-ranking step (Eq. 3) consumes to attribute relevant
+// resources to candidates.
+func (g *Graph) ResourceCandidateMap(candidates []UserID, opts TraversalOptions) map[ResourceID][]CandidateDistance {
+	out := make(map[ResourceID][]CandidateDistance)
+	for _, u := range candidates {
+		for _, h := range g.ResourcesWithin(u, opts) {
+			out[h.Resource] = append(out[h.Resource], CandidateDistance{Candidate: u, Distance: h.Distance})
+		}
+	}
+	return out
+}
+
+// DistanceCounts tallies, per network, how many distinct resources are
+// reachable from any candidate at each distance (the statistic plotted
+// in Fig. 5a). The result maps network → [3]int counts for distances
+// 0, 1, 2.
+func (g *Graph) DistanceCounts(candidates []UserID, opts TraversalOptions) map[Network][3]int {
+	type key struct {
+		net Network
+		r   ResourceID
+	}
+	best := make(map[key]int)
+	for _, u := range candidates {
+		for _, h := range g.ResourcesWithin(u, opts) {
+			k := key{g.resources[h.Resource].Network, h.Resource}
+			if prev, ok := best[k]; !ok || h.Distance < prev {
+				best[k] = h.Distance
+			}
+		}
+	}
+	out := make(map[Network][3]int)
+	for k, d := range best {
+		counts := out[k.net]
+		counts[d]++
+		out[k.net] = counts
+	}
+	return out
+}

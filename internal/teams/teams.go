@@ -1,0 +1,261 @@
+// Package teams implements the Expert Team Formation problem the
+// paper's related work discusses (§4, Lappas, Liu & Terzi, "Finding a
+// team of experts in social networks", KDD 2009): given a task that
+// requires a set of skills and a pool of experts connected by a social
+// network, find a team that covers every skill while keeping the
+// communication cost among members low.
+//
+// Two cost functions from the KDD paper are supported:
+//
+//   - Diameter cost — the largest shortest-path distance between any
+//     two team members, minimized by the RarestFirst algorithm (a
+//     2-approximation).
+//   - Sum cost — the sum of pairwise distances, minimized greedily.
+//
+// The communication network is derived from the social graph's mutual
+// relationships (friendships / connections), which is exactly the
+// paper's reading of a real-world bond (§2.2): you can actually work
+// with a friend, while a followed celebrity will not answer.
+package teams
+
+import (
+	"fmt"
+	"sort"
+
+	"expertfind/internal/socialgraph"
+)
+
+// Skill names one required competence (in this repository, an
+// expertise domain, but any label works).
+type Skill string
+
+// Team is a formed team: one member per required skill (members can
+// repeat across skills and are deduplicated in Members).
+type Team struct {
+	// Members lists the distinct team members, sorted.
+	Members []socialgraph.UserID
+	// BySkill maps every required skill to the member covering it.
+	BySkill map[Skill]socialgraph.UserID
+	// Diameter is the largest pairwise communication distance within
+	// the team.
+	Diameter int
+	// SumDistance is the sum of pairwise communication distances.
+	SumDistance int
+}
+
+// Unreachable is the distance reported between members with no
+// connecting path; teams containing such pairs are avoided whenever
+// the skill supports allow it.
+const Unreachable = 1 << 20
+
+// Former forms teams over a communication network.
+type Former struct {
+	adj   map[socialgraph.UserID][]socialgraph.UserID
+	users []socialgraph.UserID
+	// distCache memoizes single-source BFS results.
+	distCache map[socialgraph.UserID]map[socialgraph.UserID]int
+}
+
+// NewFormer builds the communication network from the mutual
+// relationships of the graph on the given networks (nil = all).
+// Only candidate users are nodes: externals (followed accounts,
+// group members) are not teammates.
+func NewFormer(g *socialgraph.Graph, networks []socialgraph.Network) *Former {
+	if networks == nil {
+		networks = socialgraph.Networks
+	}
+	f := &Former{
+		adj:       make(map[socialgraph.UserID][]socialgraph.UserID),
+		distCache: make(map[socialgraph.UserID]map[socialgraph.UserID]int),
+	}
+	candidates := g.Candidates()
+	isCand := make(map[socialgraph.UserID]bool, len(candidates))
+	for _, u := range candidates {
+		isCand[u] = true
+	}
+	f.users = candidates
+	for i, a := range candidates {
+		for _, b := range candidates[i+1:] {
+			for _, net := range networks {
+				if g.IsFriend(a, b, net) {
+					f.adj[a] = append(f.adj[a], b)
+					f.adj[b] = append(f.adj[b], a)
+					break
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Distance returns the communication distance (shortest path over
+// mutual relationships) between two users, or Unreachable.
+func (f *Former) Distance(a, b socialgraph.UserID) int {
+	if a == b {
+		return 0
+	}
+	d, ok := f.bfs(a)[b]
+	if !ok {
+		return Unreachable
+	}
+	return d
+}
+
+func (f *Former) bfs(src socialgraph.UserID) map[socialgraph.UserID]int {
+	if d, ok := f.distCache[src]; ok {
+		return d
+	}
+	dist := map[socialgraph.UserID]int{src: 0}
+	queue := []socialgraph.UserID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range f.adj[u] {
+			if _, seen := dist[v]; !seen {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	f.distCache[src] = dist
+	return dist
+}
+
+// Support lists, per skill, the users able to contribute it.
+type Support map[Skill][]socialgraph.UserID
+
+// validate checks that every skill has at least one supporter.
+func (s Support) validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("teams: no skills required")
+	}
+	for skill, users := range s {
+		if len(users) == 0 {
+			return fmt.Errorf("teams: skill %q has no supporting experts", skill)
+		}
+	}
+	return nil
+}
+
+// skillsSorted returns the skills in deterministic order.
+func (s Support) skillsSorted() []Skill {
+	out := make([]Skill, 0, len(s))
+	for sk := range s {
+		out = append(out, sk)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RarestFirst forms a team minimizing the diameter cost, following
+// the KDD 2009 RarestFirst algorithm: anchor on the supporters of the
+// rarest skill, attach to each anchor the closest supporter of every
+// other skill, and keep the anchor whose team has the smallest
+// diameter.
+func (f *Former) RarestFirst(support Support) (Team, error) {
+	if err := support.validate(); err != nil {
+		return Team{}, err
+	}
+	skills := support.skillsSorted()
+
+	rarest := skills[0]
+	for _, sk := range skills {
+		if len(support[sk]) < len(support[rarest]) {
+			rarest = sk
+		}
+	}
+
+	best := Team{Diameter: Unreachable + 1}
+	for _, anchor := range support[rarest] {
+		bySkill := map[Skill]socialgraph.UserID{rarest: anchor}
+		for _, sk := range skills {
+			if sk == rarest {
+				continue
+			}
+			chosen, chosenDist := socialgraph.UserID(-1), Unreachable+1
+			for _, u := range support[sk] {
+				if d := f.Distance(anchor, u); d < chosenDist {
+					chosen, chosenDist = u, d
+				}
+			}
+			bySkill[sk] = chosen
+		}
+		team := f.finalize(bySkill)
+		if team.Diameter < best.Diameter ||
+			(team.Diameter == best.Diameter && team.SumDistance < best.SumDistance) {
+			best = team
+		}
+	}
+	return best, nil
+}
+
+// GreedySum forms a team minimizing the sum of pairwise distances
+// with a greedy heuristic: skills are covered from rarest to most
+// common, each time picking the supporter with the smallest total
+// distance to the members chosen so far.
+func (f *Former) GreedySum(support Support) (Team, error) {
+	if err := support.validate(); err != nil {
+		return Team{}, err
+	}
+	skills := support.skillsSorted()
+	sort.SliceStable(skills, func(i, j int) bool {
+		return len(support[skills[i]]) < len(support[skills[j]])
+	})
+
+	bySkill := make(map[Skill]socialgraph.UserID, len(skills))
+	var members []socialgraph.UserID
+	for _, sk := range skills {
+		chosen, chosenCost := socialgraph.UserID(-1), -1
+		for _, u := range support[sk] {
+			cost := 0
+			for _, m := range members {
+				cost += f.Distance(u, m)
+			}
+			if chosenCost < 0 || cost < chosenCost || (cost == chosenCost && u < chosen) {
+				chosen, chosenCost = u, cost
+			}
+		}
+		bySkill[sk] = chosen
+		already := false
+		for _, m := range members {
+			if m == chosen {
+				already = true
+			}
+		}
+		if !already {
+			members = append(members, chosen)
+		}
+	}
+	return f.finalize(bySkill), nil
+}
+
+// finalize computes team costs from a skill assignment.
+func (f *Former) finalize(bySkill map[Skill]socialgraph.UserID) Team {
+	seen := map[socialgraph.UserID]bool{}
+	var members []socialgraph.UserID
+	for _, u := range bySkill {
+		if !seen[u] {
+			seen[u] = true
+			members = append(members, u)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	diameter, sum := 0, 0
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			d := f.Distance(a, b)
+			if d > diameter {
+				diameter = d
+			}
+			sum += d
+		}
+	}
+	return Team{Members: members, BySkill: bySkill, Diameter: diameter, SumDistance: sum}
+}
+
+// Connected reports whether every pair of team members can reach each
+// other in the communication network.
+func (f *Former) Connected(t Team) bool {
+	return t.Diameter < Unreachable
+}

@@ -1,0 +1,39 @@
+package textproc
+
+import "testing"
+
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{"", "a", "swimming", "relational", "données", "x1y2", "AAAA", "zzzzzzzzzzzzzzzz"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		s := Stem(word)
+		if len(s) > len(word) {
+			t.Fatalf("Stem(%q) = %q grew", word, s)
+		}
+	})
+}
+
+func FuzzSanitizeAndTokenize(f *testing.F) {
+	seeds := []string{
+		"", "<a href=x>link</a>", "http://x.com &amp; more", "@user #tag",
+		"plain text", "<<>><<", "&#39;&bogus", "unicode: 日本語 données",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		out := Sanitize(text)
+		for _, tok := range Tokenize(out) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+		}
+		// The full pipeline must never emit stop words.
+		for _, term := range Default.Terms(text) {
+			if IsStopword(term) {
+				t.Fatalf("stop word %q leaked", term)
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package textproc
+
+// stopwords is a standard English stop-word list (a superset of the
+// classic SMART/Glasgow lists restricted to very high frequency
+// function words), used by the Text Processing step of the pipeline.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range stopwordList {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the (lowercase) token is an English stop
+// word.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am",
+	"an", "and", "any", "are", "aren", "as", "at", "be", "because",
+	"been", "before", "being", "below", "between", "both", "but", "by",
+	"can", "cannot", "could", "couldn", "did", "didn", "do", "does",
+	"doesn", "doing", "don", "down", "during", "each", "few", "for",
+	"from", "further", "had", "hadn", "has", "hasn", "have", "haven",
+	"having", "he", "her", "here", "hers", "herself", "him", "himself",
+	"his", "how", "i", "if", "in", "into", "is", "isn", "it", "its",
+	"itself", "just", "ll", "me", "more", "most", "mustn", "my",
+	"myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+	"only", "or", "other", "ought", "our", "ours", "ourselves", "out",
+	"over", "own", "re", "s", "same", "shan", "she", "should",
+	"shouldn", "so", "some", "such", "t", "than", "that", "the",
+	"their", "theirs", "them", "themselves", "then", "there", "these",
+	"they", "this", "those", "through", "to", "too", "under", "until",
+	"up", "ve", "very", "was", "wasn", "we", "were", "weren", "what",
+	"when", "where", "which", "while", "who", "whom", "why", "will",
+	"with", "won", "would", "wouldn", "you", "your", "yours",
+	"yourself", "yourselves",
+	// conversational filler ubiquitous in social resources
+	"also", "get", "got", "like", "one", "really", "see", "thanks",
+	"today", "want", "yes",
+}

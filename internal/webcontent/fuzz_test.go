@@ -1,0 +1,24 @@
+package webcontent
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzExtractMainContent(f *testing.F) {
+	seeds := []string{
+		"", "<html><body><p>hello world</p></body></html>",
+		"<script>x</script>text", "<a>only links</a>", "< broken",
+		"<p>" + strings.Repeat("word ", 50) + "</p>",
+		"<!-- comment --><div>content here for everyone</div>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		out := ExtractMainContent(html)
+		if strings.Contains(out, "<") {
+			t.Fatalf("tag bracket leaked: %q", out)
+		}
+	})
+}
