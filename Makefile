@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: static analysis, build, then the race-enabled
+# test suite (which subsumes the plain one).
+check: vet build race
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,14 @@
 //
 //	datagen [-seed N] [-scale F] [-json out.json] [-samples K]
 //	        [-save corpus.json.gz] [-load corpus.json.gz]
+//	        [-fault-transient F] [-fault-ratelimit F] [-fault-seed N]
+//	        [-fault-outages net,net] [-retries N]
+//
+// When any -fault-* flag is set, the corpus is re-crawled through the
+// fault-injecting platform API (internal/faults) and the degraded
+// view replaces the pristine graph — so saved snapshots and printed
+// statistics reflect what a crawler facing flaky APIs would obtain.
+// -retries enables the retry/breaker stack during that crawl.
 package main
 
 import (
@@ -13,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"expertfind/internal/corpusio"
+	"expertfind/internal/crawler"
 	"expertfind/internal/dataset"
 	"expertfind/internal/experiments"
+	"expertfind/internal/faults"
 	"expertfind/internal/kb"
 	"expertfind/internal/socialgraph"
 )
@@ -57,6 +68,11 @@ func main() {
 	savePath := flag.String("save", "", "save a reloadable corpus snapshot (.json or .json.gz)")
 	loadPath := flag.String("load", "", "load a corpus snapshot instead of generating")
 	samples := flag.Int("samples", 3, "sample resources to print per network")
+	faultTransient := flag.Float64("fault-transient", 0, "probability an API call fails transiently")
+	faultRateLimit := flag.Float64("fault-ratelimit", 0, "probability an API call is rate-limited (429)")
+	faultSeed := flag.Int64("fault-seed", 23, "fault injection seed")
+	faultOutages := flag.String("fault-outages", "", "comma-separated networks that are hard down (facebook,twitter,linkedin)")
+	retries := flag.Int("retries", 0, "max attempts per API call during the faulted crawl (0 = no retries)")
 	flag.Parse()
 
 	t0 := time.Now()
@@ -71,6 +87,38 @@ func main() {
 	} else {
 		ds = dataset.Generate(dataset.Config{Seed: *seed, Scale: *scale})
 	}
+
+	if *faultTransient > 0 || *faultRateLimit > 0 || *faultOutages != "" {
+		cfg := faults.Config{
+			Seed:          *faultSeed,
+			TransientRate: *faultTransient,
+			RateLimitRate: *faultRateLimit,
+		}
+		for _, name := range strings.Split(*faultOutages, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			net := socialgraph.Network(name)
+			switch net {
+			case socialgraph.Facebook, socialgraph.Twitter, socialgraph.LinkedIn:
+				cfg.Outages = append(cfg.Outages, net)
+			default:
+				fmt.Fprintf(os.Stderr, "datagen: unknown network %q\n", name)
+				os.Exit(2)
+			}
+		}
+		res := crawler.Resilience{}
+		if *retries > 0 {
+			res = crawler.DefaultResilience
+			res.Retry.MaxAttempts = *retries
+		}
+		crawled, st := crawler.CrawlAPI(faults.Wrap(ds.Graph, cfg), crawler.FullAccess, res)
+		fmt.Printf("faulted crawl: %d/%d resources recovered (%d calls, %d failed, %d retries, %d gave up, %d breaker trips)\n",
+			crawled.NumResources(), ds.Graph.NumResources(),
+			st.APICalls, st.FailedCalls, st.Retries, st.GaveUp, st.BreakerTrips)
+		ds = ds.WithGraph(crawled)
+	}
+
 	fmt.Printf("generated in %v: %d resources, %d users (%d candidates), %d containers, %d web pages\n\n",
 		time.Since(t0).Round(time.Millisecond), ds.Graph.NumResources(), ds.Graph.NumUsers(),
 		len(ds.Candidates), ds.Graph.NumContainers(), ds.Web.Len())

@@ -5,27 +5,57 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-run id,id,...]
+//	            [-fault-rates F,F,...] [-fault-seed N] [-retries N]
 //
 // Experiment ids: fig5a fig5b fig6 fig7 table2 fig8 table3 fig9
-// table4 fig10 fig11 (default: all, in paper order).
+// table4 fig10 fig11 (default: all, in paper order). The -fault-*
+// and -retries flags parameterize the "faults" sweep (ranking
+// quality vs injected API failure rate).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"expertfind/internal/dataset"
 	"expertfind/internal/experiments"
+	"expertfind/internal/resilience"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "dataset generation seed")
 	scale := flag.Float64("scale", 1.0, "corpus volume multiplier")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	faultRates := flag.String("fault-rates", "", "comma-separated API failure rates for the faults sweep (default 0,0.05,0.1,0.25,0.5)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault injection seed for the faults sweep (default 23)")
+	retries := flag.Int("retries", 0, "max attempts per API call in the faults sweep (default: the standard stack's 4)")
 	flag.Parse()
+
+	sweep := experiments.DefaultFaultSweep()
+	if *faultRates != "" {
+		sweep.Rates = nil
+		for _, f := range strings.Split(*faultRates, ",") {
+			rate, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || rate < 0 || rate > 1 {
+				fmt.Fprintf(os.Stderr, "experiments: invalid failure rate %q\n", f)
+				os.Exit(2)
+			}
+			sweep.Rates = append(sweep.Rates, rate)
+		}
+	}
+	if *faultSeed != 0 {
+		sweep.Seed = *faultSeed
+	}
+	if *retries > 0 {
+		sweep.Res.Retry.MaxAttempts = *retries
+		if *retries == 1 {
+			sweep.Res.Retry = resilience.RetryPolicy{MaxAttempts: 1}
+		}
+	}
 
 	runners := []struct {
 		id string
@@ -45,6 +75,7 @@ func main() {
 		{"baselines", func(s *experiments.System) fmt.Stringer { return experiments.RunBaselineComparison(s) }},
 		{"significance", func(s *experiments.System) fmt.Stringer { return experiments.RunSignificance(s) }},
 		{"crawl", func(s *experiments.System) fmt.Stringer { return experiments.RunCrawlRobustness(s) }},
+		{"faults", func(s *experiments.System) fmt.Stringer { return experiments.RunFaultSweep(s, sweep) }},
 		{"agreement", func(s *experiments.System) fmt.Stringer { return experiments.RunNetworkAgreement(s) }},
 		{"correlation", func(s *experiments.System) fmt.Stringer { return experiments.RunCorrelation(s) }},
 	}

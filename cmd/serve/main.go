@@ -4,15 +4,21 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
+//	      [-request-timeout D] [-max-concurrent N] [-retry-after D]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
+//
+// The listener comes up immediately; /healthz answers 200 from the
+// start while /readyz and the /v1 routes answer 503 + Retry-After
+// until the corpus build finishes. Requests are bounded by
+// -request-timeout, and load beyond -max-concurrent in-flight /v1
+// requests is shed with 503 + Retry-After.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -29,29 +35,54 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed (ignored with -corpus)")
 	scale := flag.Float64("scale", 0.5, "corpus volume multiplier (ignored with -corpus)")
 	corpus := flag.String("corpus", "", "load a saved corpus snapshot instead of generating")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
+	maxConc := flag.Int("max-concurrent", 64, "max in-flight /v1 requests before shedding load (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
 	flag.Parse()
 
-	t0 := time.Now()
-	var (
-		sys *expertfind.System
-		err error
-	)
-	if *corpus != "" {
-		sys, err = expertfind.NewSystemFromCorpus(*corpus)
-		if err != nil {
-			log.Fatalf("serve: %v", err)
-		}
-	} else {
-		sys = expertfind.NewSystem(expertfind.Config{Seed: *seed, Scale: *scale})
-	}
-	st := sys.Stats()
-	log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed",
-		time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources)
+	handler := httpapi.NewWithOptions(nil, httpapi.Options{
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *maxConc,
+		RetryAfter:     *retryAfter,
+		Logger:         log.Default(),
+	})
 
+	// Build the corpus in the background so the listener (and its
+	// liveness probe) is up immediately; /readyz gates traffic until
+	// SetSystem flips the handler ready.
+	go func() {
+		t0 := time.Now()
+		var (
+			sys *expertfind.System
+			err error
+		)
+		if *corpus != "" {
+			sys, err = expertfind.NewSystemFromCorpus(*corpus)
+			if err != nil {
+				log.Fatalf("serve: corpus: %v", err)
+			}
+		} else {
+			sys = expertfind.NewSystem(expertfind.Config{Seed: *seed, Scale: *scale})
+		}
+		st := sys.Stats()
+		log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed",
+			time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources)
+		handler.SetSystem(sys)
+	}()
+
+	// WriteTimeout must outlast the request deadline so the 503 the
+	// timeout middleware writes still reaches the client.
+	writeTimeout := 30 * time.Second
+	if *reqTimeout > 0 && *reqTimeout+5*time.Second > writeTimeout {
+		writeTimeout = *reqTimeout + 5*time.Second
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(sys),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	// Drain in-flight requests on SIGINT/SIGTERM.
@@ -60,7 +91,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down")
+		log.Print("serve: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -71,7 +102,8 @@ func main() {
 
 	log.Printf("listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(fmt.Errorf("serve: %w", err))
+		log.Printf("serve: listen: %v", err)
+		os.Exit(1)
 	}
 	<-idle
 }

@@ -6,18 +6,26 @@
 // ("for each resource container we retrieved the most recent
 // resources"), and API call budgets.
 //
-// The crawler takes a "remote" social graph (the ground truth living
-// on the platforms) and extracts the partial view an application with
-// a given access policy would actually obtain. Evaluating the expert
-// finder on crawls of decreasing completeness quantifies how robust
-// the method is to the access limits every third-party application
-// faces — the paper notes that platform owners, who see everything,
-// are strictly better positioned (§3.7).
+// The crawler extracts, from a remote platform API (internal/faults —
+// the ground truth living on the platforms, possibly behind injected
+// failures), the partial view an application with a given access
+// policy would actually obtain. Evaluating the expert finder on
+// crawls of decreasing completeness quantifies how robust the method
+// is to the access limits every third-party application faces — the
+// paper notes that platform owners, who see everything, are strictly
+// better positioned (§3.7). CrawlAPI extends that question from
+// *policy* incompleteness to *transient* incompleteness: flaky
+// endpoints, rate limits and outages, crawled through a configurable
+// retry / rate-limit / circuit-breaker stack (internal/resilience).
 package crawler
 
 import (
+	"errors"
 	"math/rand"
+	"time"
 
+	"expertfind/internal/faults"
+	"expertfind/internal/resilience"
 	"expertfind/internal/socialgraph"
 )
 
@@ -33,16 +41,45 @@ type Policy struct {
 	// group or page (the "most recent resources" cap). Zero means no
 	// cap.
 	MaxPerContainer int
-	// MaxAPICalls bounds the total number of API calls; one call
-	// retrieves one user (profile + stream) or one container feed.
-	// Zero means unlimited.
+	// MaxAPICalls bounds the total number of API call attempts; one
+	// call retrieves one user's presence on one network (profile +
+	// memberships + streams) or one container feed, and every retry
+	// of a failed call spends another attempt. Zero means unlimited.
 	MaxAPICalls int
-	// Seed drives the privacy draws, making crawls reproducible.
+	// Seed drives the privacy draws and the retry jitter, making
+	// crawls reproducible.
 	Seed int64
 }
 
 // FullAccess is the policy of a platform owner: everything visible.
 var FullAccess = Policy{ProfileAccessProb: 1}
+
+// Resilience configures the fault-handling stack a crawl runs its API
+// calls through. The zero value is a bare client: single attempts, no
+// pacing, no breaker — a call that fails is immediately given up.
+type Resilience struct {
+	// Retry is the per-call retry/backoff policy.
+	Retry resilience.RetryPolicy
+	// RatePerNetwork, when positive, paces calls against each network
+	// through a token bucket of that many calls per second.
+	RatePerNetwork float64
+	// Burst is the token-bucket burst; values < 1 default to 1.
+	Burst int
+	// Breaker, when Threshold > 0, guards each network with a circuit
+	// breaker so a hard outage stops burning call budget.
+	Breaker resilience.BreakerPolicy
+	// Clock supplies backoff and pacing waits; nil means a private
+	// virtual clock (the crawl simulates waiting instead of sleeping,
+	// so heavily-faulted sweeps still run in milliseconds).
+	Clock *resilience.Clock
+}
+
+// DefaultResilience is the stack the commands enable with -retries:
+// SDK-style backoff plus a 5-failure breaker with a 1s cooldown.
+var DefaultResilience = Resilience{
+	Retry:   resilience.DefaultRetry,
+	Breaker: resilience.BreakerPolicy{Threshold: 5, Cooldown: time.Second},
+}
 
 // Stats reports what a crawl did.
 type Stats struct {
@@ -52,36 +89,99 @@ type Stats struct {
 	ContainersTruncated int
 	ResourcesCopied     int
 	ResourcesSkipped    int
+
+	// FailedCalls counts call attempts that returned a platform
+	// error (before any retry).
+	FailedCalls int
+	// Retries counts the extra attempts spent re-trying failed calls.
+	Retries int
+	// GaveUp counts fetches abandoned for good: retries exhausted,
+	// hard outage, or an open circuit breaker.
+	GaveUp int
+	// BreakerTrips counts circuit-breaker openings across networks.
+	BreakerTrips int
+	// Waited is the simulated time spent backing off and pacing.
+	Waited time.Duration
 }
 
-// Crawl extracts from remote the subgraph visible under policy,
-// starting from the candidate pool. The crawled graph mirrors the
-// remote user table (same UserIDs), so ground truth defined on remote
-// users applies unchanged; resource and container IDs are fresh.
+// errBudget aborts the retry loop when the call budget runs out; it
+// is bookkept separately from genuine platform failures.
+var errBudget = errors.New("crawler: API call budget exhausted")
+
+// Crawl extracts from remote the subgraph visible under policy
+// through a perfectly reliable API — the historical entry point, now
+// a convenience wrapper over CrawlAPI with a zero-fault client.
 func Crawl(remote *socialgraph.Graph, policy Policy) (*socialgraph.Graph, Stats) {
+	return CrawlAPI(faults.Wrap(remote, faults.Config{}), policy, Resilience{})
+}
+
+// CrawlAPI extracts the subgraph visible under policy from a platform
+// API that may inject failures, running every call through the given
+// resilience stack. The crawled graph mirrors the remote user table
+// (same UserIDs), so ground truth defined on remote users applies
+// unchanged; resource and container IDs are fresh.
+func CrawlAPI(api faults.API, policy Policy, res Resilience) (*socialgraph.Graph, Stats) {
+	clock := res.Clock
+	if clock == nil {
+		clock = resilience.NewClock()
+	}
 	c := &crawl{
-		remote:       remote,
+		api:          api,
 		policy:       policy,
 		rng:          rand.New(rand.NewSource(policy.Seed + 1)),
 		out:          socialgraph.New(),
 		resourceMap:  make(map[socialgraph.ResourceID]socialgraph.ResourceID),
 		containerMap: make(map[socialgraph.ContainerID]socialgraph.ContainerID),
 		visited:      make(map[socialgraph.UserID]bool),
+		views:        make(map[socialgraph.UserID][]*faults.UserView),
+		clock:        clock,
+	}
+	c.retryer = &resilience.Retryer{
+		Policy: res.Retry,
+		Clock:  clock,
+		Rand:   rand.New(rand.NewSource(policy.Seed + 2)),
+		OnRetry: func(_ int, _ error, delay time.Duration) {
+			c.stats.Retries++
+			c.stats.Waited += delay
+		},
+	}
+	if res.RatePerNetwork > 0 || res.Breaker.Threshold > 0 {
+		c.buckets = make(map[socialgraph.Network]*resilience.TokenBucket)
+		c.breakers = make(map[socialgraph.Network]*resilience.Breaker)
+		for _, net := range socialgraph.Networks {
+			if res.RatePerNetwork > 0 {
+				c.buckets[net] = resilience.NewTokenBucket(res.RatePerNetwork, res.Burst, clock)
+			}
+			if res.Breaker.Threshold > 0 {
+				c.breakers[net] = resilience.NewBreaker(res.Breaker, clock)
+			}
+		}
 	}
 	c.run()
+	for _, br := range c.breakers {
+		c.stats.BreakerTrips += br.Trips()
+	}
 	return c.out, c.stats
 }
 
 type crawl struct {
-	remote *socialgraph.Graph
-	policy Policy
-	rng    *rand.Rand
-	out    *socialgraph.Graph
-	stats  Stats
+	api     faults.API
+	policy  Policy
+	rng     *rand.Rand
+	out     *socialgraph.Graph
+	stats   Stats
+	clock   *resilience.Clock
+	retryer *resilience.Retryer
+
+	buckets  map[socialgraph.Network]*resilience.TokenBucket
+	breakers map[socialgraph.Network]*resilience.Breaker
 
 	resourceMap  map[socialgraph.ResourceID]socialgraph.ResourceID
 	containerMap map[socialgraph.ContainerID]socialgraph.ContainerID
 	visited      map[socialgraph.UserID]bool
+	// views caches the fetched per-network user data so streams can be
+	// copied after all container feeds are in (see run, phase 3).
+	views map[socialgraph.UserID][]*faults.UserView
 }
 
 // spendCall consumes one API call if the budget allows it.
@@ -93,18 +193,52 @@ func (c *crawl) spendCall() bool {
 	return true
 }
 
+// fetch runs one API fetch against net through the breaker, pacing
+// and retry stack, reporting whether it ultimately succeeded.
+func (c *crawl) fetch(net socialgraph.Network, f func() error) bool {
+	br := c.breakers[net]
+	err := c.retryer.Do(func() error {
+		if br != nil && !br.Allow() {
+			return resilience.Permanent(resilience.ErrOpen)
+		}
+		if !c.spendCall() {
+			return resilience.Permanent(errBudget)
+		}
+		if b := c.buckets[net]; b != nil {
+			if wait := b.Reserve(); wait > 0 {
+				c.stats.Waited += wait
+				c.clock.Sleep(wait)
+			}
+		}
+		err := f()
+		if err != nil {
+			c.stats.FailedCalls++
+			br.Failure()
+			return err
+		}
+		br.Success()
+		return nil
+	})
+	if err == nil {
+		return true
+	}
+	if !errors.Is(err, errBudget) {
+		c.stats.GaveUp++
+	}
+	return false
+}
+
 func (c *crawl) run() {
-	remote := c.remote
-	for _, u := range remote.Users() {
+	for _, u := range c.api.Users() {
 		c.out.AddUser(u.Name, u.Candidate)
 	}
-	candidates := remote.Candidates()
+	candidates := c.api.Candidates()
 
 	// Phase 1: visit the authorized candidates, then the users they
 	// follow (friends included — whether the matching later uses
 	// friend content is the traversal's decision; the crawler mirrors
 	// the relationship structure it can see). Visiting retrieves the
-	// profile and the container feeds.
+	// per-network profiles, memberships and container feeds.
 	var accessible []socialgraph.UserID
 	for _, u := range candidates {
 		if c.visitUser(u, true) {
@@ -113,13 +247,13 @@ func (c *crawl) run() {
 	}
 	for _, u := range candidates {
 		for _, net := range socialgraph.Networks {
-			for _, v := range remote.Followed(u, net, true) {
-				c.out.Follows(u, v, net)
-				if remote.FollowsEdge(v, u, net) {
-					c.out.Follows(v, u, net)
+			for _, e := range c.api.Follows(u, net) {
+				c.out.Follows(u, e.To, net)
+				if e.Mutual {
+					c.out.Follows(e.To, u, net)
 				}
-				if c.visitUser(v, false) {
-					accessible = append(accessible, v)
+				if c.visitUser(e.To, false) {
+					accessible = append(accessible, e.To)
 				}
 			}
 		}
@@ -128,9 +262,9 @@ func (c *crawl) run() {
 	// distance-2 profile paths (followed-of-followed) survive.
 	for v := range c.visited {
 		for _, net := range socialgraph.Networks {
-			for _, w := range remote.Followed(v, net, true) {
-				if c.visited[w] && !c.out.FollowsEdge(v, w, net) {
-					c.out.Follows(v, w, net)
+			for _, e := range c.api.Follows(v, net) {
+				if c.visited[e.To] && !c.out.FollowsEdge(v, e.To, net) {
+					c.out.Follows(v, e.To, net)
 				}
 			}
 		}
@@ -140,13 +274,23 @@ func (c *crawl) run() {
 	// in, so stream items that also sit in a crawled feed reuse the
 	// feed copy instead of duplicating.
 	for _, u := range accessible {
-		c.copyStreams(u)
+		for _, view := range c.views[u] {
+			for _, r := range view.Owned {
+				c.out.Owns(u, c.mapOrCopy(r))
+			}
+			for _, r := range view.Created {
+				c.mapOrCopy(r) // the creates edge is recorded by the copy
+			}
+			for _, r := range view.Annotated {
+				c.out.Annotates(u, c.mapOrCopy(r))
+			}
+		}
 	}
 }
 
 // visitUser performs the access check and retrieves the user's
-// profile and container feeds. It reports whether the user's data is
-// accessible.
+// per-network profiles, container feeds and streams. It reports
+// whether any of the user's data was retrieved.
 func (c *crawl) visitUser(u socialgraph.UserID, authorized bool) bool {
 	if c.visited[u] {
 		return false // already handled (or denied) once
@@ -156,39 +300,34 @@ func (c *crawl) visitUser(u socialgraph.UserID, authorized bool) bool {
 		c.stats.UsersDenied++
 		return false
 	}
-	if !c.spendCall() {
-		return false
-	}
-	c.stats.UsersVisited++
-	remote := c.remote
-
+	any := false
 	for _, net := range socialgraph.Networks {
-		if rid, ok := remote.Profile(u, net); ok {
-			r := remote.Resource(rid)
-			c.out.SetProfile(u, net, r.Text, r.URLs...)
+		var view *faults.UserView
+		ok := c.fetch(net, func() error {
+			v, err := c.api.FetchUser(u, net)
+			if err == nil {
+				view = v
+			}
+			return err
+		})
+		if !ok {
+			continue // this network's data is lost, the others may not be
 		}
-	}
-	for _, cid := range remote.RelatedContainers(u) {
-		if ncid, ok := c.crawlContainer(cid); ok {
-			c.out.RelatesTo(u, ncid)
+		any = true
+		if view.Profile != nil {
+			c.out.SetProfile(u, net, view.Profile.Text, view.Profile.URLs...)
 		}
+		for _, cid := range view.Containers {
+			if ncid, ok := c.crawlContainer(cid, net); ok {
+				c.out.RelatesTo(u, ncid)
+			}
+		}
+		c.views[u] = append(c.views[u], view)
 	}
-	return true
-}
-
-// copyStreams retrieves the directly related resources of an
-// accessible user: created, owned and annotated.
-func (c *crawl) copyStreams(u socialgraph.UserID) {
-	remote := c.remote
-	for _, rid := range remote.OwnedBy(u) {
-		c.out.Owns(u, c.mapOrCopy(rid))
+	if any {
+		c.stats.UsersVisited++
 	}
-	for _, rid := range remote.CreatedBy(u) {
-		c.mapOrCopy(rid) // the creates edge is recorded by the copy
-	}
-	for _, rid := range remote.AnnotatedBy(u) {
-		c.out.Annotates(u, c.mapOrCopy(rid))
-	}
+	return any
 }
 
 // mapOrCopy returns the crawled copy of a remote resource, cloning it
@@ -196,43 +335,46 @@ func (c *crawl) copyStreams(u socialgraph.UserID) {
 // of a crawled feed is still retrievable individually (the API serves
 // single posts), so it is copied standalone — its contains edge is
 // simply not visible to the crawl.
-func (c *crawl) mapOrCopy(rid socialgraph.ResourceID) socialgraph.ResourceID {
-	if nid, ok := c.resourceMap[rid]; ok {
+func (c *crawl) mapOrCopy(r socialgraph.Resource) socialgraph.ResourceID {
+	if nid, ok := c.resourceMap[r.ID]; ok {
 		return nid
 	}
-	r := c.remote.Resource(rid)
 	nid := c.out.AddResource(r.Network, r.Kind, r.Creator, r.Text, r.URLs...)
-	c.resourceMap[rid] = nid
+	c.resourceMap[r.ID] = nid
 	c.stats.ResourcesCopied++
 	return nid
 }
 
 // crawlContainer retrieves a container and its most recent resources.
-func (c *crawl) crawlContainer(cid socialgraph.ContainerID) (socialgraph.ContainerID, bool) {
+// A container whose fetch fails is not cached, so a later member may
+// retry it.
+func (c *crawl) crawlContainer(cid socialgraph.ContainerID, net socialgraph.Network) (socialgraph.ContainerID, bool) {
 	if ncid, ok := c.containerMap[cid]; ok {
 		return ncid, true
 	}
-	if !c.spendCall() {
+	var view *faults.ContainerView
+	ok := c.fetch(net, func() error {
+		v, err := c.api.FetchContainer(cid, c.policy.MaxPerContainer)
+		if err == nil {
+			view = v
+		}
+		return err
+	})
+	if !ok {
 		return -1, false
 	}
-	remote := c.remote
-	cont := remote.Container(cid)
-	desc := remote.Resource(cont.Desc)
-	ncid := c.out.AddContainer(cont.Network, cont.Kind, desc.Creator, cont.Name, desc.Text)
+	ncid := c.out.AddContainer(view.Container.Network, view.Container.Kind,
+		view.Desc.Creator, view.Container.Name, view.Desc.Text)
 	c.containerMap[cid] = ncid
 
-	feed := remote.ContainedResources(cid)
-	keep := len(feed)
-	if c.policy.MaxPerContainer > 0 && keep > c.policy.MaxPerContainer {
-		keep = c.policy.MaxPerContainer
-		c.stats.ContainersTruncated++
-	}
-	for _, rid := range feed[len(feed)-keep:] { // the most recent ones
-		r := remote.Resource(rid)
+	for _, r := range view.Feed {
 		nid := c.out.AddContainedResource(r.Kind, ncid, r.Creator, r.Text, r.URLs...)
-		c.resourceMap[rid] = nid
+		c.resourceMap[r.ID] = nid
 		c.stats.ResourcesCopied++
 	}
-	c.stats.ResourcesSkipped += len(feed) - keep
+	if skipped := view.Total - len(view.Feed); skipped > 0 {
+		c.stats.ContainersTruncated++
+		c.stats.ResourcesSkipped += skipped
+	}
 	return ncid, true
 }

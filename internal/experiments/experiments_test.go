@@ -392,6 +392,39 @@ func TestCrawlRobustness(t *testing.T) {
 	}
 }
 
+func TestFaultSweep(t *testing.T) {
+	s := testSystem(t)
+	sw := DefaultFaultSweep()
+	sw.Rates = []float64{0, 0.3} // keep the test to two index rebuilds
+	ft := RunFaultSweep(s, sw)
+	if len(ft.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ft.Rows))
+	}
+	clean, noisy := ft.Rows[0], ft.Rows[1]
+	if clean.Retries != 0 || clean.GaveUp != 0 || clean.ResourcesBare != clean.Resources {
+		t.Errorf("faults injected at rate 0: %+v", clean)
+	}
+	if clean.Spearman < 0.95 {
+		t.Errorf("fault-free crawl does not reproduce the ranking: ρ = %.4f", clean.Spearman)
+	}
+	if noisy.Retries == 0 {
+		t.Errorf("no retries at 30%% failure rate: %+v", noisy)
+	}
+	if noisy.Resources < noisy.ResourcesBare {
+		t.Errorf("hardened crawl recovered fewer resources than the bare one: %d < %d",
+			noisy.Resources, noisy.ResourcesBare)
+	}
+	if noisy.Resources > clean.Resources {
+		t.Errorf("faulted crawl exceeds the clean one: %d > %d", noisy.Resources, clean.Resources)
+	}
+	if noisy.Spearman < -1 || noisy.Spearman > 1 {
+		t.Errorf("ρ out of range: %v", noisy.Spearman)
+	}
+	if !strings.Contains(ft.String(), "failure") {
+		t.Error("render incomplete")
+	}
+}
+
 func TestNetworkAgreement(t *testing.T) {
 	s := testSystem(t)
 	na := RunNetworkAgreement(s)

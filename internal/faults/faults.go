@@ -1,0 +1,309 @@
+// Package faults simulates the unreliable platform APIs behind the
+// paper's Resource Extraction step (§2.3, Fig. 4). The real
+// Facebook/Twitter/LinkedIn endpoints rate-limit, time out, and
+// return transient errors; industrial-scale expert miners engineer
+// around exactly that. This package wraps the remote
+// socialgraph.Graph (the ground truth living on the platforms) behind
+// an API interface whose calls can fail with deterministic, seeded
+// faults: transient 5xx-style errors, 429-style rate-limit responses
+// carrying a Retry-After hint, per-call service latency, and hard
+// per-network outages.
+//
+// The crawler (internal/crawler) consumes this interface through the
+// retry / rate-limit / circuit-breaker stack of internal/resilience,
+// which turns "robustness to policy incompleteness" (§3.7) into the
+// harder question the experiments chart: robustness to *transient*
+// incompleteness.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"expertfind/internal/resilience"
+	"expertfind/internal/socialgraph"
+)
+
+// Kind classifies an injected API failure.
+type Kind uint8
+
+// Failure kinds, ordered from most to least benign.
+const (
+	// Transient is a 5xx-style hiccup (gateway error, reset
+	// connection): retryable immediately.
+	Transient Kind = iota
+	// RateLimited is a 429-style rejection carrying a Retry-After
+	// hint: retryable after the hint.
+	RateLimited
+	// Unavailable is a hard per-network outage (platform down, API
+	// revoked): not retryable.
+	Unavailable
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case RateLimited:
+		return "rate-limited"
+	case Unavailable:
+		return "unavailable"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// APIError is the error returned by failed platform calls. It
+// implements the Retryable and RetryAfterHint classification the
+// resilience package consumes.
+type APIError struct {
+	Kind    Kind
+	Network socialgraph.Network
+	// Hint is the server-supplied Retry-After for RateLimited errors.
+	Hint time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("faults: %s API %s", e.Network, e.Kind)
+}
+
+// Retryable reports whether a retry can succeed: hard outages cannot.
+func (e *APIError) Retryable() bool { return e.Kind != Unavailable }
+
+// RetryAfterHint exposes the 429 Retry-After hint.
+func (e *APIError) RetryAfterHint() (time.Duration, bool) {
+	if e.Kind == RateLimited && e.Hint > 0 {
+		return e.Hint, true
+	}
+	return 0, false
+}
+
+// Edge is a follow relationship as the relationship API reports it.
+type Edge struct {
+	To socialgraph.UserID
+	// Mutual marks a reciprocated edge — a friendship in the paper's
+	// meta-model (§2.2).
+	Mutual bool
+}
+
+// UserView is the response of FetchUser: everything the platform
+// returns about a user's presence on one network — profile, container
+// memberships, and the owned/created/annotated streams, with full
+// resource records (IDs are the remote graph's).
+type UserView struct {
+	Network    socialgraph.Network
+	Profile    *socialgraph.Resource // nil when the user has no profile there
+	Containers []socialgraph.ContainerID
+	Owned      []socialgraph.Resource
+	Created    []socialgraph.Resource
+	Annotated  []socialgraph.Resource
+}
+
+// ContainerView is the response of FetchContainer: the container
+// record, its description resource, and the most recent feed entries.
+type ContainerView struct {
+	Container socialgraph.Container
+	Desc      socialgraph.Resource
+	// Feed holds the retrieved resources in chronological order (most
+	// recent last); Total is the feed length before the limit cut.
+	Feed  []socialgraph.Resource
+	Total int
+}
+
+// API is the remote platform surface as a crawling application sees
+// it: a user directory (the application's own registration records,
+// always available), cached public relationship lists, and per-call
+// content fetches that can fail.
+type API interface {
+	// Users returns the user directory.
+	Users() []socialgraph.User
+	// Candidates returns the expert-candidate pool CE.
+	Candidates() []socialgraph.UserID
+	// Follows returns u's outgoing follow edges on net, flagging
+	// mutual (friendship) edges. Relationship lists are public and
+	// served from cache: no API call, no failures.
+	Follows(u socialgraph.UserID, net socialgraph.Network) []Edge
+	// FetchUser retrieves u's content on net. One API call; may fail.
+	FetchUser(u socialgraph.UserID, net socialgraph.Network) (*UserView, error)
+	// FetchContainer retrieves a container and its limit most recent
+	// feed entries (0 = all). One API call; may fail.
+	FetchContainer(c socialgraph.ContainerID, limit int) (*ContainerView, error)
+}
+
+// Config sets the injected fault mix. The zero value injects nothing:
+// Wrap(g, Config{}) is a perfectly reliable API.
+type Config struct {
+	// Seed drives the per-call fault draws, making every failure
+	// sequence reproducible.
+	Seed int64
+	// TransientRate is the probability that a call fails with a
+	// Transient error.
+	TransientRate float64
+	// RateLimitRate is the probability that a call fails RateLimited.
+	// TransientRate + RateLimitRate must be ≤ 1.
+	RateLimitRate float64
+	// RetryAfter is the hint attached to RateLimited errors; zero
+	// defaults to 50ms.
+	RetryAfter time.Duration
+	// Latency is the simulated per-call service time, charged to the
+	// clock on every call (failures included).
+	Latency time.Duration
+	// Outages lists networks that are hard down: every call against
+	// them fails Unavailable.
+	Outages []socialgraph.Network
+	// Clock receives the injected latency; nil means a private
+	// virtual clock (latency is then only visible in Stats).
+	Clock *resilience.Clock
+}
+
+// Stats counts what the injector did, for reporting.
+type Stats struct {
+	Calls          int
+	Transients     int
+	RateLimits     int
+	OutageFailures int
+	Latency        time.Duration // total injected service time
+}
+
+// Injector implements API over a socialgraph.Graph, injecting the
+// configured faults. Fault draws are serialized, so call sequences
+// are deterministic for single-threaded callers like the crawler.
+type Injector struct {
+	g   *socialgraph.Graph
+	cfg Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	down  map[socialgraph.Network]bool
+	stats Stats
+}
+
+// Wrap returns a fault-injecting API over g.
+func Wrap(g *socialgraph.Graph, cfg Config) *Injector {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 50 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = resilience.NewClock()
+	}
+	in := &Injector{
+		g:    g,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+		down: make(map[socialgraph.Network]bool, len(cfg.Outages)),
+	}
+	for _, net := range cfg.Outages {
+		in.down[net] = true
+	}
+	return in
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// call charges one API call against net and decides its fate. A
+// single uniform draw selects the failure class, so each call
+// consumes exactly one random number regardless of the configuration.
+func (in *Injector) call(net socialgraph.Network) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Calls++
+	if in.cfg.Latency > 0 {
+		in.stats.Latency += in.cfg.Latency
+		in.cfg.Clock.Sleep(in.cfg.Latency)
+	}
+	if in.down[net] {
+		in.stats.OutageFailures++
+		return &APIError{Kind: Unavailable, Network: net}
+	}
+	if in.cfg.TransientRate <= 0 && in.cfg.RateLimitRate <= 0 {
+		return nil
+	}
+	draw := in.rng.Float64()
+	if draw < in.cfg.TransientRate {
+		in.stats.Transients++
+		return &APIError{Kind: Transient, Network: net}
+	}
+	if draw < in.cfg.TransientRate+in.cfg.RateLimitRate {
+		in.stats.RateLimits++
+		return &APIError{Kind: RateLimited, Network: net, Hint: in.cfg.RetryAfter}
+	}
+	return nil
+}
+
+// Users implements API.
+func (in *Injector) Users() []socialgraph.User { return in.g.Users() }
+
+// Candidates implements API.
+func (in *Injector) Candidates() []socialgraph.UserID { return in.g.Candidates() }
+
+// Follows implements API.
+func (in *Injector) Follows(u socialgraph.UserID, net socialgraph.Network) []Edge {
+	followed := in.g.Followed(u, net, true)
+	out := make([]Edge, 0, len(followed))
+	for _, v := range followed {
+		out = append(out, Edge{To: v, Mutual: in.g.FollowsEdge(v, u, net)})
+	}
+	return out
+}
+
+// FetchUser implements API.
+func (in *Injector) FetchUser(u socialgraph.UserID, net socialgraph.Network) (*UserView, error) {
+	if err := in.call(net); err != nil {
+		return nil, err
+	}
+	view := &UserView{Network: net}
+	if rid, ok := in.g.Profile(u, net); ok {
+		r := in.g.Resource(rid)
+		view.Profile = &r
+	}
+	for _, cid := range in.g.RelatedContainers(u) {
+		if in.g.Container(cid).Network == net {
+			view.Containers = append(view.Containers, cid)
+		}
+	}
+	view.Owned = in.streamOn(in.g.OwnedBy(u), net)
+	view.Created = in.streamOn(in.g.CreatedBy(u), net)
+	view.Annotated = in.streamOn(in.g.AnnotatedBy(u), net)
+	return view, nil
+}
+
+// streamOn resolves the resource records of ids that live on net.
+func (in *Injector) streamOn(ids []socialgraph.ResourceID, net socialgraph.Network) []socialgraph.Resource {
+	var out []socialgraph.Resource
+	for _, rid := range ids {
+		if r := in.g.Resource(rid); r.Network == net {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FetchContainer implements API.
+func (in *Injector) FetchContainer(c socialgraph.ContainerID, limit int) (*ContainerView, error) {
+	cont := in.g.Container(c)
+	if err := in.call(cont.Network); err != nil {
+		return nil, err
+	}
+	feed := in.g.ContainedResources(c)
+	view := &ContainerView{
+		Container: cont,
+		Desc:      in.g.Resource(cont.Desc),
+		Total:     len(feed),
+	}
+	keep := len(feed)
+	if limit > 0 && keep > limit {
+		keep = limit
+	}
+	for _, rid := range feed[len(feed)-keep:] { // the most recent ones
+		view.Feed = append(view.Feed, in.g.Resource(rid))
+	}
+	return view, nil
+}

@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"expertfind/internal/resilience"
+	"expertfind/internal/socialgraph"
+)
+
+// tinyGraph builds one candidate with a profile, a followed user, and
+// a group with three posts.
+func tinyGraph() (*socialgraph.Graph, socialgraph.UserID, socialgraph.ContainerID) {
+	g := socialgraph.New()
+	u := g.AddUser("ada", true)
+	v := g.AddUser("bob", false)
+	g.SetProfile(u, socialgraph.Facebook, "graph theory and optimization")
+	g.Follows(u, v, socialgraph.Twitter)
+	cid := g.AddContainer(socialgraph.Facebook, socialgraph.ContainerGroup, u, "algorithms", "algorithm talk")
+	for i := 0; i < 3; i++ {
+		g.AddContainedResource(socialgraph.KindGroupPost, cid, u, "post about sorting")
+	}
+	g.RelatesTo(u, cid)
+	return g, u, cid
+}
+
+func TestZeroConfigNeverFails(t *testing.T) {
+	g, u, cid := tinyGraph()
+	api := Wrap(g, Config{})
+	for i := 0; i < 50; i++ {
+		if _, err := api.FetchUser(u, socialgraph.Facebook); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	view, err := api.FetchContainer(cid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Feed) != 3 || view.Total != 3 {
+		t.Errorf("feed = %d/%d, want 3/3", len(view.Feed), view.Total)
+	}
+}
+
+func TestFetchUserView(t *testing.T) {
+	g, u, cid := tinyGraph()
+	api := Wrap(g, Config{})
+	fb, err := api.FetchUser(u, socialgraph.Facebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Profile == nil || fb.Profile.Text == "" {
+		t.Error("facebook profile missing")
+	}
+	if len(fb.Containers) != 1 || fb.Containers[0] != cid {
+		t.Errorf("containers = %v", fb.Containers)
+	}
+	// Created stream carries the group posts (same network).
+	if len(fb.Created) == 0 {
+		t.Error("created stream empty")
+	}
+	tw, err := api.FetchUser(u, socialgraph.Twitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Profile != nil || len(tw.Containers) != 0 {
+		t.Errorf("twitter view leaked facebook data: %+v", tw)
+	}
+}
+
+func TestFollowsReportsMutuality(t *testing.T) {
+	g := socialgraph.New()
+	a := g.AddUser("a", true)
+	b := g.AddUser("b", false)
+	c := g.AddUser("c", false)
+	g.Befriend(a, b, socialgraph.Facebook)
+	g.Follows(a, c, socialgraph.Twitter)
+	api := Wrap(g, Config{})
+	fb := api.Follows(a, socialgraph.Facebook)
+	if len(fb) != 1 || fb[0].To != b || !fb[0].Mutual {
+		t.Errorf("facebook edges = %+v", fb)
+	}
+	tw := api.Follows(a, socialgraph.Twitter)
+	if len(tw) != 1 || tw[0].To != c || tw[0].Mutual {
+		t.Errorf("twitter edges = %+v", tw)
+	}
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	g, u, _ := tinyGraph()
+	seq := func() []bool {
+		api := Wrap(g, Config{Seed: 3, TransientRate: 0.3, RateLimitRate: 0.2})
+		var out []bool
+		for i := 0; i < 40; i++ {
+			_, err := api.FetchUser(u, socialgraph.Facebook)
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	failed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at call %d", i)
+		}
+		if !a[i] {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("no faults injected at 50% combined rate")
+	}
+}
+
+func TestFaultClassification(t *testing.T) {
+	g, u, cid := tinyGraph()
+	api := Wrap(g, Config{Seed: 1, TransientRate: 0.5, RateLimitRate: 0.5, RetryAfter: 123 * time.Millisecond})
+	sawTransient, sawRateLimit := false, false
+	for i := 0; i < 60 && !(sawTransient && sawRateLimit); i++ {
+		_, err := api.FetchUser(u, socialgraph.Facebook)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("call %d: error %v is not an APIError", i, err)
+		}
+		switch apiErr.Kind {
+		case Transient:
+			sawTransient = true
+			if !resilience.Retryable(err) {
+				t.Error("transient not retryable")
+			}
+			if _, ok := resilience.RetryAfter(err); ok {
+				t.Error("transient carries a retry-after hint")
+			}
+		case RateLimited:
+			sawRateLimit = true
+			hint, ok := resilience.RetryAfter(err)
+			if !ok || hint != 123*time.Millisecond {
+				t.Errorf("hint = %v/%v", hint, ok)
+			}
+		}
+	}
+	if !sawTransient || !sawRateLimit {
+		t.Errorf("fault mix incomplete: transient=%v ratelimit=%v", sawTransient, sawRateLimit)
+	}
+	st := api.Stats()
+	if st.Calls == 0 || st.Transients == 0 || st.RateLimits == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	_ = cid
+}
+
+func TestOutageIsPermanentPerNetwork(t *testing.T) {
+	g, u, cid := tinyGraph()
+	api := Wrap(g, Config{Outages: []socialgraph.Network{socialgraph.Facebook}})
+	if _, err := api.FetchUser(u, socialgraph.Facebook); err == nil {
+		t.Fatal("facebook call succeeded during outage")
+	} else if resilience.Retryable(err) {
+		t.Error("outage error classified retryable")
+	}
+	if _, err := api.FetchContainer(cid, 0); err == nil {
+		t.Fatal("container call succeeded during its network's outage")
+	}
+	if _, err := api.FetchUser(u, socialgraph.Twitter); err != nil {
+		t.Errorf("twitter call failed outside the outage: %v", err)
+	}
+	if api.Stats().OutageFailures != 2 {
+		t.Errorf("outage failures = %d, want 2", api.Stats().OutageFailures)
+	}
+}
+
+func TestLatencyChargedToClock(t *testing.T) {
+	g, u, _ := tinyGraph()
+	clock := resilience.NewClock()
+	api := Wrap(g, Config{Latency: 5 * time.Millisecond, Clock: clock})
+	for i := 0; i < 4; i++ {
+		if _, err := api.FetchUser(u, socialgraph.Facebook); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := clock.Elapsed(); got != 20*time.Millisecond {
+		t.Errorf("clock advanced %v, want 20ms", got)
+	}
+	if api.Stats().Latency != 20*time.Millisecond {
+		t.Errorf("stats latency = %v", api.Stats().Latency)
+	}
+}
+
+func TestFeedLimit(t *testing.T) {
+	g, _, cid := tinyGraph()
+	api := Wrap(g, Config{})
+	view, err := api.FetchContainer(cid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Feed) != 2 || view.Total != 3 {
+		t.Errorf("feed = %d/%d, want 2/3", len(view.Feed), view.Total)
+	}
+	// The limit keeps the most recent (last) entries.
+	all, _ := api.FetchContainer(cid, 0)
+	if view.Feed[0].ID != all.Feed[1].ID || view.Feed[1].ID != all.Feed[2].ID {
+		t.Error("limit did not keep the most recent entries")
+	}
+}

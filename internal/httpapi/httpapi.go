@@ -5,17 +5,24 @@
 //
 // Endpoints:
 //
-//	GET /healthz                 liveness probe
+//	GET /healthz                 liveness probe (always 200 while the process runs)
+//	GET /readyz                  readiness probe (503 until a corpus is installed
+//	                             or while the concurrency cap is saturated)
 //	GET /v1/stats                corpus statistics
 //	GET /v1/domains              known expertise domains
 //	GET /v1/queries              the evaluation query set
 //	GET /v1/experts?domain=D     ground-truth experts of a domain
 //	GET /v1/find?q=...           ranked experts for an expertise need
 //	GET /v1/bestnetwork?q=...    best platform + per-network rankings
+//	GET /v1/explain?q=...&expert=N  evidence behind one expert's rank
 //
 // /v1/find accepts the optional parameters alpha (0..1), distance
 // (0..2), window (int, 0 = no truncation), networks (comma-separated),
 // friends (bool) and top (int).
+//
+// Every error response — including 404/405 fallbacks and 503s from
+// the hardening middleware — carries the uniform JSON body
+// {"error": "..."}; 503s additionally carry a Retry-After header.
 package httpapi
 
 import (
@@ -24,58 +31,153 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"expertfind"
 )
 
 // Handler serves the JSON API over a System.
 type Handler struct {
-	sys *expertfind.System
-	mux *http.ServeMux
+	sys  atomic.Pointer[expertfind.System]
+	mux  *http.ServeMux
+	opts Options
+	sem  chan struct{}
+	root http.Handler
 }
 
-// New returns the API handler.
+// New returns the API handler with default (zero) Options.
 func New(sys *expertfind.System) *Handler {
-	h := &Handler{sys: sys, mux: http.NewServeMux()}
+	return NewWithOptions(sys, Options{})
+}
+
+// NewWithOptions returns the API handler with the serving-path
+// hardening described by opts. sys may be nil: the probe endpoints
+// work immediately while /v1 answers 503 until SetSystem installs a
+// corpus, so the listener can come up before the index is built.
+func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
+	h := &Handler{mux: http.NewServeMux(), opts: opts}
+	if sys != nil {
+		h.sys.Store(sys)
+	}
+	if opts.MaxConcurrent > 0 {
+		h.sem = make(chan struct{}, opts.MaxConcurrent)
+	}
 	h.mux.HandleFunc("GET /healthz", h.health)
-	h.mux.HandleFunc("GET /v1/stats", h.stats)
-	h.mux.HandleFunc("GET /v1/domains", h.domains)
-	h.mux.HandleFunc("GET /v1/queries", h.queries)
-	h.mux.HandleFunc("GET /v1/experts", h.experts)
-	h.mux.HandleFunc("GET /v1/find", h.find)
-	h.mux.HandleFunc("GET /v1/bestnetwork", h.bestNetwork)
-	h.mux.HandleFunc("GET /v1/explain", h.explain)
+	h.mux.HandleFunc("GET /readyz", h.ready)
+	h.mux.HandleFunc("GET /v1/stats", h.v1(h.stats))
+	h.mux.HandleFunc("GET /v1/domains", h.v1(h.domains))
+	h.mux.HandleFunc("GET /v1/queries", h.v1(h.queries))
+	h.mux.HandleFunc("GET /v1/experts", h.v1(h.experts))
+	h.mux.HandleFunc("GET /v1/find", h.v1(h.find))
+	h.mux.HandleFunc("GET /v1/bestnetwork", h.v1(h.bestNetwork))
+	h.mux.HandleFunc("GET /v1/explain", h.v1(h.explain))
+
+	var root http.Handler = withRecovery(opts.Logger, http.HandlerFunc(h.route))
+	if opts.RequestTimeout > 0 {
+		root = withTimeout(opts, root)
+	}
+	if opts.Logger != nil {
+		root = withLogging(opts.Logger, root)
+	}
+	h.root = root
 	return h
+}
+
+// SetSystem atomically installs (or swaps) the served System. Until
+// the first call with a non-nil System, /readyz and all /v1 routes
+// answer 503.
+func (h *Handler) SetSystem(sys *expertfind.System) {
+	h.sys.Store(sys)
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.root.ServeHTTP(w, r)
+}
+
+// route dispatches through the mux, rewriting its plain-text 404/405
+// fallbacks into the API's uniform JSON error shape while preserving
+// the status and the Allow header the mux computes.
+func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
+	handler, pattern := h.mux.Handler(r)
+	if pattern != "" {
+		handler.ServeHTTP(w, r)
+		return
+	}
+	rec := &timeoutWriter{header: make(http.Header)}
+	handler.ServeHTTP(rec, r)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusNotFound
+	}
+	if allow := rec.header.Get("Allow"); allow != "" {
+		w.Header().Set("Allow", allow)
+	}
+	writeError(w, status, http.StatusText(status))
+}
+
+// v1 guards an API route: shed load when the concurrency cap is
+// saturated, and refuse with 503 until a corpus is installed. The
+// probe endpoints bypass this, so /healthz stays 200 while /v1 sheds.
+func (h *Handler) v1(f func(*expertfind.System, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h.sem != nil {
+			select {
+			case h.sem <- struct{}{}:
+				defer func() { <-h.sem }()
+			default:
+				h.opts.writeUnavailable(w, "server overloaded")
+				return
+			}
+		}
+		sys := h.sys.Load()
+		if sys == nil {
+			h.opts.writeUnavailable(w, "corpus not ready")
+			return
+		}
+		f(sys, w, r)
+	}
 }
 
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.sys.Stats())
+// ready reports whether the service can usefully answer /v1 traffic:
+// a corpus must be installed and the concurrency cap must have head
+// room (a saturated cap is the serving-side analogue of an open
+// circuit breaker — tell the balancer to route elsewhere).
+func (h *Handler) ready(w http.ResponseWriter, _ *http.Request) {
+	if h.sys.Load() == nil {
+		h.opts.writeUnavailable(w, "corpus not ready")
+		return
+	}
+	if h.sem != nil && len(h.sem) == cap(h.sem) {
+		h.opts.writeUnavailable(w, "server overloaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-func (h *Handler) domains(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) stats(sys *expertfind.System, w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sys.Stats())
+}
+
+func (h *Handler) domains(_ *expertfind.System, w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, expertfind.Domains())
 }
 
-func (h *Handler) queries(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.sys.Queries())
+func (h *Handler) queries(sys *expertfind.System, w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sys.Queries())
 }
 
-func (h *Handler) experts(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) experts(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	domain := r.URL.Query().Get("domain")
 	if domain == "" {
 		writeError(w, http.StatusBadRequest, "missing required parameter: domain")
 		return
 	}
-	experts, err := h.sys.Experts(domain)
+	experts, err := sys.Experts(domain)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -89,7 +191,7 @@ type findResponse struct {
 	Experts []expertfind.Expert `json:"experts"`
 }
 
-func (h *Handler) find(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) find(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	need := r.URL.Query().Get("q")
 	if need == "" {
 		writeError(w, http.StatusBadRequest, "missing required parameter: q")
@@ -100,7 +202,7 @@ func (h *Handler) find(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	experts, err := h.sys.Find(need, opts...)
+	experts, err := sys.Find(need, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -118,7 +220,7 @@ type bestNetworkResponse struct {
 	Rankings map[expertfind.Network][]expertfind.Expert `json:"rankings"`
 }
 
-func (h *Handler) bestNetwork(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) bestNetwork(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	need := r.URL.Query().Get("q")
 	if need == "" {
 		writeError(w, http.StatusBadRequest, "missing required parameter: q")
@@ -129,7 +231,7 @@ func (h *Handler) bestNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	best, rankings, err := h.sys.BestNetwork(need, opts...)
+	best, rankings, err := sys.BestNetwork(need, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -144,7 +246,7 @@ func (h *Handler) bestNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, bestNetworkResponse{Need: need, Best: best, Rankings: rankings})
 }
 
-func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) explain(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	need, expert := q.Get("q"), q.Get("expert")
 	if need == "" || expert == "" {
@@ -159,7 +261,7 @@ func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 	if top == 0 {
 		top = 5
 	}
-	expl, err := h.sys.Explain(need, expert, top, opts...)
+	expl, err := sys.Explain(need, expert, top, opts...)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return

@@ -1,0 +1,180 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options hardens the serving path. The zero value is the historical
+// behavior: no timeout, no concurrency cap, no request logging (panic
+// recovery is always on).
+type Options struct {
+	// RequestTimeout bounds each request's handling time; past it the
+	// client gets 503 + Retry-After. Zero disables the deadline.
+	RequestTimeout time.Duration
+	// MaxConcurrent caps in-flight /v1 requests; excess load is shed
+	// with 503 + Retry-After instead of queueing without bound. Zero
+	// means unlimited.
+	MaxConcurrent int
+	// RetryAfter is the hint attached to 503 responses (load shed,
+	// timeout, not ready); zero defaults to 1s.
+	RetryAfter time.Duration
+	// Logger receives one line per request plus recovered panics; nil
+	// disables request logging (panics are still recovered).
+	Logger *log.Logger
+}
+
+// retryAfterSeconds renders the Retry-After header value (whole
+// seconds, minimum 1 as the header cannot express sub-second waits).
+func (o Options) retryAfterSeconds() string {
+	d := o.RetryAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// writeUnavailable sends the uniform 503 payload with the Retry-After
+// hint that tells well-behaved clients when to come back.
+func (o Options) writeUnavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", o.retryAfterSeconds())
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// statusWriter captures the response status and size for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// withLogging emits one line per request: method, path, status, size,
+// duration.
+func withLogging(l *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		l.Printf("%s %s %d %dB %v", r.Method, r.URL.Path, status, sw.bytes, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+// withRecovery converts handler panics into JSON 500s instead of
+// killing the connection (or, under withTimeout's goroutine, the
+// whole process).
+func withRecovery(l *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if l != nil {
+					l.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				writeError(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutWriter buffers a handler's response so that, when the
+// deadline fires first, the handler's late writes never interleave
+// with the 503 already sent to the client.
+type timeoutWriter struct {
+	mu     sync.Mutex
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (tw *timeoutWriter) Header() http.Header {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.header
+}
+
+func (tw *timeoutWriter) WriteHeader(code int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.status == 0 {
+		tw.status = code
+	}
+}
+
+func (tw *timeoutWriter) Write(p []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	return tw.buf.Write(p)
+}
+
+// flush copies the buffered response onto the real writer.
+func (tw *timeoutWriter) flush(w http.ResponseWriter) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	dst := w.Header()
+	for k, v := range tw.header {
+		dst[k] = v
+	}
+	status := tw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(tw.buf.Bytes())
+}
+
+// withTimeout enforces a per-request deadline. The handler runs in a
+// goroutine against a buffered writer; if the deadline fires first
+// the client gets 503 + Retry-After while the stray goroutine drains
+// harmlessly into the buffer (its context is canceled, so
+// cooperative handlers can stop early).
+func withTimeout(opts Options, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), opts.RequestTimeout)
+		defer cancel()
+		tw := &timeoutWriter{header: make(http.Header)}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next.ServeHTTP(tw, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			tw.flush(w)
+		case <-ctx.Done():
+			opts.writeUnavailable(w, "request timed out")
+		}
+	})
+}

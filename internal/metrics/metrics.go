@@ -11,7 +11,10 @@
 // collection (retrieved or not), which fixes the recall denominator.
 package metrics
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // PrecisionAt returns the fraction of relevant items within the first
 // k retrieved. When fewer than k items were retrieved the denominator
@@ -232,6 +235,39 @@ func LinearRegression(x, y []float64) (a, b float64) {
 	b = sxy / sxx
 	a = my - b*mx
 	return a, b
+}
+
+// SpearmanCorrelation returns Spearman's rank correlation ρ of x and
+// y: the Pearson correlation of their rank vectors, with tied values
+// assigned the average of the ranks they span (midranks). It returns
+// 0 when either vector has no variance in its ranks.
+func SpearmanCorrelation(x, y []float64) float64 {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0
+	}
+	return PearsonCorrelation(ranks(x), ranks(y))
+}
+
+// ranks converts values to 1-based midranks.
+func ranks(xs []float64) []float64 {
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return xs[order[i]] < xs[order[j]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(order); {
+		j := i
+		for j+1 < len(order) && xs[order[j+1]] == xs[order[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1 // average of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			out[order[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
 }
 
 // PearsonCorrelation returns the correlation coefficient of x and y,

@@ -187,6 +187,20 @@ func TestPearsonCorrelation(t *testing.T) {
 	approx(t, "no variance", PearsonCorrelation(x, []float64{5, 5, 5, 5}), 0)
 }
 
+func TestSpearmanCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	// Any monotone map of x has ρ = 1 even when Pearson < 1.
+	approx(t, "monotone", SpearmanCorrelation(x, []float64{1, 10, 100, 1000}), 1)
+	approx(t, "reversed", SpearmanCorrelation(x, []float64{9, 7, 5, 3}), -1)
+	approx(t, "no variance", SpearmanCorrelation(x, []float64{5, 5, 5, 5}), 0)
+	// Ties get midranks: textbook example with one swap and a tie.
+	rho := SpearmanCorrelation([]float64{1, 2, 3, 4, 5}, []float64{1, 3, 2, 4, 4})
+	if rho <= 0.7 || rho >= 1 {
+		t.Errorf("tied ρ = %v, want in (0.7, 1)", rho)
+	}
+	approx(t, "mismatched lengths", SpearmanCorrelation(x, []float64{1}), 0)
+}
+
 // Property: all bounded metrics stay in [0,1] for arbitrary inputs.
 func TestMetricBounds(t *testing.T) {
 	f := func(seed int64) bool {

@@ -1,0 +1,103 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (or reported) when a circuit breaker is open
+// and rejecting calls.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerPolicy configures a consecutive-failure circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker. Values ≤ 0 disable it.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting a
+	// probe call through (half-open state).
+	Cooldown time.Duration
+}
+
+// Breaker is a minimal circuit breaker: after Threshold consecutive
+// failures it opens and rejects calls for Cooldown; the next call
+// after the cooldown is a probe whose outcome closes the breaker or
+// re-trips it. It is safe for concurrent use.
+type Breaker struct {
+	policy BreakerPolicy
+	clock  *Clock
+
+	mu        sync.Mutex
+	failures  int
+	open      bool
+	probing   bool
+	openUntil time.Time
+	trips     int
+}
+
+// NewBreaker returns a breaker under the given policy. A nil clock
+// means real time.
+func NewBreaker(p BreakerPolicy, clock *Clock) *Breaker {
+	return &Breaker{policy: p, clock: clock}
+}
+
+// Allow reports whether a call may proceed. While open and cooling
+// down it returns false; after the cooldown it admits calls as probes
+// until one of them reports an outcome.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.policy.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.clock.Now().Before(b.openUntil) {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success reports a successful call, closing the breaker.
+func (b *Breaker) Success() {
+	if b == nil || b.policy.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+}
+
+// Failure reports a failed call. It trips the breaker after Threshold
+// consecutive failures, and re-trips immediately when a half-open
+// probe fails.
+func (b *Breaker) Failure() {
+	if b == nil || b.policy.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.probing || b.failures >= b.policy.Threshold {
+		b.open = true
+		b.probing = false
+		b.failures = 0
+		b.openUntil = b.clock.Now().Add(b.policy.Cooldown)
+		b.trips++
+	}
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token-bucket rate limiter: rate tokens per
+// second refill a bucket holding at most burst tokens, and each call
+// consumes one. It is safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	clock  *Clock
+}
+
+// NewTokenBucket returns a bucket allowing rate calls per second with
+// the given burst (values < 1 become 1). A nil clock means real time.
+func NewTokenBucket(rate float64, burst int, clock *Clock) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	b := &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), clock: clock}
+	b.last = clock.Now()
+	return b
+}
+
+// refill credits the tokens accrued since the last observation.
+// Callers must hold b.mu.
+func (b *TokenBucket) refill(now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Reserve consumes one token and returns how long the caller must
+// wait before acting on it (zero when a token was available). The
+// token is committed either way, so call Reserve only when the work
+// will actually be performed.
+func (b *TokenBucket) Reserve() time.Duration {
+	if b == nil || b.rate <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(b.clock.Now())
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+// Allow reports whether a token is available right now, consuming one
+// if so. It never waits.
+func (b *TokenBucket) Allow() bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(b.clock.Now())
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy configures exponential backoff with jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, the first try
+	// included. Values ≤ 1 mean a single attempt (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps any single backoff. Zero means uncapped.
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor; values ≤ 1 default to 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: the
+	// actual delay is drawn uniformly from [d·(1−Jitter), d]. Zero
+	// disables jitter (fully deterministic backoff).
+	Jitter float64
+}
+
+// DefaultRetry mirrors the client defaults of the large platform
+// SDKs: four attempts, 100 ms initial backoff doubling up to 2 s,
+// half-width jitter.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   100 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	Multiplier:  2,
+	Jitter:      0.5,
+}
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// delay returns the backoff before retry number retry (0-based),
+// before jitter.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so a Retryer stops immediately instead of
+// retrying. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retryable classifies err: errors wrapped with Permanent, and errors
+// whose chain exposes a Retryable() bool method returning false, are
+// not retried; everything else is.
+func Retryable(err error) bool {
+	var p *permanentError
+	if errors.As(err, &p) {
+		return false
+	}
+	var r interface{ Retryable() bool }
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
+	return true
+}
+
+// retryAfterHinter is implemented by errors carrying a server-supplied
+// backoff hint (an HTTP 429 Retry-After header, for example).
+type retryAfterHinter interface {
+	RetryAfterHint() (time.Duration, bool)
+}
+
+// RetryAfter extracts a server-supplied backoff hint from err's chain.
+func RetryAfter(err error) (time.Duration, bool) {
+	var h retryAfterHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0, false
+}
+
+// Retryer executes operations under a RetryPolicy.
+type Retryer struct {
+	Policy RetryPolicy
+	// Clock supplies the backoff sleeps; nil means real time.
+	Clock *Clock
+	// Rand drives the jitter; nil disables jitter regardless of the
+	// policy (keeping a seeded source here keeps runs reproducible).
+	Rand *rand.Rand
+	// OnRetry, if set, is invoked before each backoff sleep with the
+	// 1-based number of the attempt that just failed, its error, and
+	// the chosen delay.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// Do runs f until it succeeds, exhausts the policy's attempts, or
+// returns a non-retryable error. It returns the last error observed
+// (nil on success). Server Retry-After hints, when present and larger
+// than the computed backoff, replace it.
+func (r *Retryer) Do(f func() error) error {
+	attempts := r.Policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f()
+		if err == nil || attempt >= attempts || !Retryable(err) {
+			return err
+		}
+		delay := r.Policy.delay(attempt - 1)
+		if r.Rand != nil && r.Policy.Jitter > 0 {
+			j := r.Policy.Jitter
+			if j > 1 {
+				j = 1
+			}
+			delay = time.Duration(float64(delay) * (1 - j*r.Rand.Float64()))
+		}
+		if hint, ok := RetryAfter(err); ok && hint > delay {
+			delay = hint
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, err, delay)
+		}
+		r.Clock.Sleep(delay)
+	}
+}
