@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race check clean
+.PHONY: all build fmt vet test race bench-smoke check clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# fmt fails when any file needs gofmt, mirroring the CI check.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -16,9 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: static analysis, build, then the race-enabled
-# test suite (which subsumes the plain one).
-check: vet build race
+# bench-smoke compiles and runs the cheap benchmarks once, catching
+# bit-rot in the instrumented hot paths without a full bench run.
+bench-smoke:
+	$(GO) test -run xxx -bench=. -benchtime=1x ./internal/telemetry/ ./internal/index/
+
+# check is what CI runs: formatting, static analysis, build, the
+# race-enabled test suite (which subsumes the plain one), and the
+# bench smoke.
+check: fmt vet build race bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,7 @@
 package expertfind_test
 
 import (
+	"context"
 	"testing"
 
 	"expertfind"
@@ -17,6 +18,7 @@ import (
 	"expertfind/internal/dataset"
 	"expertfind/internal/experiments"
 	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
 )
 
 // BenchmarkFig5aDataset regenerates the corpus-distribution statistic
@@ -195,6 +197,25 @@ func BenchmarkSingleQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Finder.Find("why is copper a good conductor of electricity?", p)
+	}
+}
+
+// BenchmarkFindInstrumented measures the same query as
+// BenchmarkSingleQuery but under an active telemetry trace, the way
+// the HTTP serving path runs it — the delta against
+// BenchmarkSingleQuery is the full observability overhead (span
+// bookkeeping plus stage histograms), which should be negligible
+// next to the milliseconds of traversal and scoring.
+func BenchmarkFindInstrumented(b *testing.B) {
+	s := experiments.Shared()
+	p := core.Params{Traversal: socialgraph.TraversalOptions{MaxDistance: 2}}
+	tracer := telemetry.NewTracer(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, tr := tracer.Start(context.Background(), "bench find", "")
+		s.Finder.FindContext(ctx, "why is copper a good conductor of electricity?", p)
+		tr.Finish()
 	}
 }
 

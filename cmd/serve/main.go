@@ -5,6 +5,7 @@
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
 //	      [-request-timeout D] [-max-concurrent N] [-retry-after D]
+//	      [-debug]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
@@ -14,6 +15,10 @@
 // until the corpus build finishes. Requests are bounded by
 // -request-timeout, and load beyond -max-concurrent in-flight /v1
 // requests is shed with 503 + Retry-After.
+//
+// Observability: /metrics serves Prometheus text, /debug/traces the
+// recent query traces, /version the build identity. -debug
+// additionally mounts net/http/pprof and expvar under /debug/.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
 	maxConc := flag.Int("max-concurrent", 64, "max in-flight /v1 requests before shedding load (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+	debugEndpoints := flag.Bool("debug", false, "mount pprof and expvar under /debug/")
 	flag.Parse()
 
 	handler := httpapi.NewWithOptions(nil, httpapi.Options{
@@ -45,6 +51,7 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		RetryAfter:     *retryAfter,
 		Logger:         log.Default(),
+		Debug:          *debugEndpoints,
 	})
 
 	// Build the corpus in the background so the listener (and its

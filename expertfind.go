@@ -27,6 +27,7 @@
 package expertfind
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -273,11 +274,19 @@ func (s *System) buildParams(opts []FindOption) (core.Params, error) {
 // Find ranks the candidate experts for an expertise need, best first.
 // Only candidates with positive expertise score are returned.
 func (s *System) Find(need string, opts ...FindOption) ([]Expert, error) {
+	return s.FindContext(context.Background(), need, opts...)
+}
+
+// FindContext is Find with a context. When ctx carries a telemetry
+// trace (internal/telemetry), the query's pipeline stages are
+// recorded as spans on it — the serving layer uses this to expose
+// per-request traces at /debug/traces.
+func (s *System) FindContext(ctx context.Context, need string, opts ...FindOption) ([]Expert, error) {
 	p, err := s.buildParams(opts)
 	if err != nil {
 		return nil, err
 	}
-	scores := s.inner.Finder.Find(need, p)
+	scores := s.inner.Finder.FindContext(ctx, need, p)
 	out := make([]Expert, len(scores))
 	for i, es := range scores {
 		out[i] = Expert{
@@ -295,10 +304,15 @@ func (s *System) Find(need string, opts ...FindOption) ([]Expert, error) {
 // strongest top-3 expertise mass. The per-network rankings are also
 // returned.
 func (s *System) BestNetwork(need string, opts ...FindOption) (Network, map[Network][]Expert, error) {
+	return s.BestNetworkContext(context.Background(), need, opts...)
+}
+
+// BestNetworkContext is BestNetwork with a context (see FindContext).
+func (s *System) BestNetworkContext(ctx context.Context, need string, opts ...FindOption) (Network, map[Network][]Expert, error) {
 	rankings := make(map[Network][]Expert, 3)
 	best, bestScore := Network(""), -1.0
 	for _, net := range Networks() {
-		experts, err := s.Find(need, append(append([]FindOption{}, opts...), WithNetworks(net))...)
+		experts, err := s.FindContext(ctx, need, append(append([]FindOption{}, opts...), WithNetworks(net))...)
 		if err != nil {
 			return "", nil, err
 		}

@@ -16,14 +16,36 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"expertfind/internal/analysis"
 	"expertfind/internal/index"
 	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
+)
+
+// Query-pipeline metrics. Stage names follow the pipeline order:
+// analyze → traverse → index_match → aggregate_rank; the same names
+// label the per-query trace spans FindContext records.
+var (
+	mQueries = telemetry.Default().Counter(
+		"expertfind_queries_total",
+		"Expert-finding queries answered by Finder.FindAnalyzed.")
+	mStageSeconds = telemetry.Default().HistogramVec(
+		"expertfind_pipeline_stage_duration_seconds",
+		"Wall time per query-pipeline stage.", nil, "stage")
+	mCacheHits = telemetry.Default().Counter(
+		"expertfind_traversal_cache_hits_total",
+		"Reachability-map lookups answered from the per-traversal cache.")
+	mCacheMisses = telemetry.Default().Counter(
+		"expertfind_traversal_cache_misses_total",
+		"Reachability-map lookups that had to rebuild the map.")
 )
 
 // DefaultWindowSize is the number of relevant resources considered
@@ -153,13 +175,52 @@ func (f *Finder) Pipeline() *analysis.Pipeline { return f.pipe }
 // Find ranks the candidate experts for a natural-language expertise
 // need. Only experts with positive score are returned, best first.
 func (f *Finder) Find(need string, p Params) []ExpertScore {
-	return f.FindAnalyzed(f.pipe.AnalyzeNeed(need), p)
+	return f.FindContext(context.Background(), need, p)
+}
+
+// FindContext is Find with a context. When ctx carries a telemetry
+// trace (telemetry.Tracer.Start), every pipeline stage is recorded as
+// a span on it; stage timings land in the metrics registry either
+// way.
+func (f *Finder) FindContext(ctx context.Context, need string, p Params) []ExpertScore {
+	tr := telemetry.TraceFrom(ctx)
+	sp, t0 := tr.StartSpan("analyze"), time.Now()
+	a := f.pipe.AnalyzeNeed(need)
+	mStageSeconds.With("analyze").ObserveSince(t0)
+	sp.End()
+	return f.FindAnalyzedContext(ctx, a, p)
 }
 
 // FindAnalyzed is Find for a pre-analyzed need.
 func (f *Finder) FindAnalyzed(need analysis.Analyzed, p Params) []ExpertScore {
-	matches := f.Matches(need, p)
-	return f.RankFromMatches(matches, p)
+	return f.FindAnalyzedContext(context.Background(), need, p)
+}
+
+// FindAnalyzedContext is FindAnalyzed with a context, instrumented
+// like FindContext (minus the analyze stage, already done by the
+// caller).
+func (f *Finder) FindAnalyzedContext(ctx context.Context, need analysis.Analyzed, p Params) []ExpertScore {
+	mQueries.Inc()
+	tr := telemetry.TraceFrom(ctx)
+
+	sp, t0 := tr.StartSpan("traverse"), time.Now()
+	rcm := f.reachability(p.Traversal)
+	mStageSeconds.With("traverse").ObserveSince(t0)
+	sp.SetAttr("reachable_resources", strconv.Itoa(len(rcm)))
+	sp.End()
+
+	sp, t0 = tr.StartSpan("index_match"), time.Now()
+	matches := filterReachable(f.index.Score(need, p.alpha()), rcm)
+	mStageSeconds.With("index_match").ObserveSince(t0)
+	sp.SetAttr("matches", strconv.Itoa(len(matches)))
+	sp.End()
+
+	sp, t0 = tr.StartSpan("aggregate_rank"), time.Now()
+	out := rankMatches(matches, rcm, p)
+	mStageSeconds.With("aggregate_rank").ObserveSince(t0)
+	sp.SetAttr("experts", strconv.Itoa(len(out)))
+	sp.End()
+	return out
 }
 
 // Matches returns the relevant resources for the need — the scored
@@ -167,8 +228,12 @@ func (f *Finder) FindAnalyzed(need analysis.Analyzed, p Params) []ExpertScore {
 // candidate pool under p.Traversal — ordered by descending relevance,
 // before window truncation.
 func (f *Finder) Matches(need analysis.Analyzed, p Params) []index.ScoredDoc {
-	scored := f.index.Score(need, p.alpha())
-	rcm := f.reachability(p.Traversal)
+	return filterReachable(f.index.Score(need, p.alpha()), f.reachability(p.Traversal))
+}
+
+// filterReachable restricts scored resources to those present in the
+// reachability map, preserving order.
+func filterReachable(scored []index.ScoredDoc, rcm map[socialgraph.ResourceID][]socialgraph.CandidateDistance) []index.ScoredDoc {
 	matches := scored[:0:0]
 	for _, sd := range scored {
 		if _, ok := rcm[sd.Doc]; ok {
@@ -181,11 +246,16 @@ func (f *Finder) Matches(need analysis.Analyzed, p Params) []index.ScoredDoc {
 // RankFromMatches applies window truncation and the expert scoring
 // function of Eq. (3) to a pre-computed relevant-resource list.
 func (f *Finder) RankFromMatches(matches []index.ScoredDoc, p Params) []ExpertScore {
+	return rankMatches(matches, f.reachability(p.Traversal), p)
+}
+
+// rankMatches is the Eq. (3) aggregation over an already-computed
+// reachability map.
+func rankMatches(matches []index.ScoredDoc, rcm map[socialgraph.ResourceID][]socialgraph.CandidateDistance, p Params) []ExpertScore {
 	n := p.window(len(matches))
 	if n > len(matches) {
 		n = len(matches)
 	}
-	rcm := f.reachability(p.Traversal)
 	w := p.weights()
 
 	scores := make(map[socialgraph.UserID]float64)
@@ -272,8 +342,10 @@ func (f *Finder) reachability(opts socialgraph.TraversalOptions) map[socialgraph
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if rcm, ok := f.rcmCache[key]; ok {
+		mCacheHits.Inc()
 		return rcm
 	}
+	mCacheMisses.Inc()
 	rcm := f.graph.ResourceCandidateMap(f.candidates, opts)
 	f.rcmCache[key] = rcm
 	return rcm

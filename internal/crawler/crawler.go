@@ -27,7 +27,61 @@ import (
 	"expertfind/internal/faults"
 	"expertfind/internal/resilience"
 	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
 )
+
+// Crawl metrics bridge the per-crawl Stats into the process-wide
+// registry as cumulative counters (a long-lived service may crawl
+// many times), plus live breaker-state gauges per network. Waits are
+// split by cause: backoff (reactive, after failures) vs. pacing
+// (proactive token-bucket rate limiting).
+var (
+	mAPICalls = telemetry.Default().Counter(
+		"expertfind_crawler_api_calls_total",
+		"Platform API call attempts, retries included.")
+	mFailedCalls = telemetry.Default().Counter(
+		"expertfind_crawler_failed_calls_total",
+		"API call attempts that returned a platform error.")
+	mRetries = telemetry.Default().Counter(
+		"expertfind_crawler_retries_total",
+		"Extra attempts spent re-trying failed calls.")
+	mGaveUp = telemetry.Default().Counter(
+		"expertfind_crawler_gave_up_total",
+		"Fetches abandoned for good (retries exhausted, outage, open breaker).")
+	mBreakerTrips = telemetry.Default().Counter(
+		"expertfind_crawler_breaker_trips_total",
+		"Circuit-breaker openings across networks.")
+	mUsersVisited = telemetry.Default().Counter(
+		"expertfind_crawler_users_visited_total",
+		"Users whose data was at least partially retrieved.")
+	mUsersDenied = telemetry.Default().Counter(
+		"expertfind_crawler_users_denied_total",
+		"Users skipped by privacy settings.")
+	mResourcesCopied = telemetry.Default().Counter(
+		"expertfind_crawler_resources_copied_total",
+		"Resources copied into crawled graphs.")
+	mWaitSeconds = telemetry.Default().CounterVec(
+		"expertfind_crawler_wait_seconds_total",
+		"Simulated seconds spent waiting, by cause.", "kind")
+	mBreakerOpen = telemetry.Default().GaugeVec(
+		"expertfind_crawler_breaker_open",
+		"Whether the network's circuit breaker is currently open (1) or closed (0).",
+		"network")
+)
+
+// record folds one crawl's Stats into the cumulative counters. Waits
+// are bridged incrementally at their call sites (retry backoff vs.
+// bucket pacing), so Stats.Waited is deliberately not re-counted here.
+func (s Stats) record() {
+	mAPICalls.Add(float64(s.APICalls))
+	mFailedCalls.Add(float64(s.FailedCalls))
+	mRetries.Add(float64(s.Retries))
+	mGaveUp.Add(float64(s.GaveUp))
+	mBreakerTrips.Add(float64(s.BreakerTrips))
+	mUsersVisited.Add(float64(s.UsersVisited))
+	mUsersDenied.Add(float64(s.UsersDenied))
+	mResourcesCopied.Add(float64(s.ResourcesCopied))
+}
 
 // Policy captures the access constraints of a crawl.
 type Policy struct {
@@ -143,6 +197,7 @@ func CrawlAPI(api faults.API, policy Policy, res Resilience) (*socialgraph.Graph
 		OnRetry: func(_ int, _ error, delay time.Duration) {
 			c.stats.Retries++
 			c.stats.Waited += delay
+			mWaitSeconds.With("backoff").Add(delay.Seconds())
 		},
 	}
 	if res.RatePerNetwork > 0 || res.Breaker.Threshold > 0 {
@@ -153,7 +208,17 @@ func CrawlAPI(api faults.API, policy Policy, res Resilience) (*socialgraph.Graph
 				c.buckets[net] = resilience.NewTokenBucket(res.RatePerNetwork, res.Burst, clock)
 			}
 			if res.Breaker.Threshold > 0 {
-				c.breakers[net] = resilience.NewBreaker(res.Breaker, clock)
+				br := resilience.NewBreaker(res.Breaker, clock)
+				g := mBreakerOpen.With(string(net))
+				g.Set(0)
+				br.OnStateChange = func(open bool) {
+					if open {
+						g.Set(1)
+					} else {
+						g.Set(0)
+					}
+				}
+				c.breakers[net] = br
 			}
 		}
 	}
@@ -161,6 +226,7 @@ func CrawlAPI(api faults.API, policy Policy, res Resilience) (*socialgraph.Graph
 	for _, br := range c.breakers {
 		c.stats.BreakerTrips += br.Trips()
 	}
+	c.stats.record()
 	return c.out, c.stats
 }
 
@@ -207,6 +273,7 @@ func (c *crawl) fetch(net socialgraph.Network, f func() error) bool {
 		if b := c.buckets[net]; b != nil {
 			if wait := b.Reserve(); wait > 0 {
 				c.stats.Waited += wait
+				mWaitSeconds.With("pacing").Add(wait.Seconds())
 				c.clock.Sleep(wait)
 			}
 		}

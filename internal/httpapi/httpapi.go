@@ -8,6 +8,9 @@
 //	GET /healthz                 liveness probe (always 200 while the process runs)
 //	GET /readyz                  readiness probe (503 until a corpus is installed
 //	                             or while the concurrency cap is saturated)
+//	GET /version                 build info, Go version, uptime
+//	GET /metrics                 Prometheus text exposition of the telemetry registry
+//	GET /debug/traces            recent /v1 query traces with per-stage spans (JSON)
 //	GET /v1/stats                corpus statistics
 //	GET /v1/domains              known expertise domains
 //	GET /v1/queries              the evaluation query set
@@ -16,33 +19,44 @@
 //	GET /v1/bestnetwork?q=...    best platform + per-network rankings
 //	GET /v1/explain?q=...&expert=N  evidence behind one expert's rank
 //
+// With Options.Debug, net/http/pprof is mounted under /debug/pprof/
+// and expvar under /debug/vars.
+//
 // /v1/find accepts the optional parameters alpha (0..1), distance
 // (0..2), window (int, 0 = no truncation), networks (comma-separated),
 // friends (bool) and top (int).
 //
-// Every error response — including 404/405 fallbacks and 503s from
-// the hardening middleware — carries the uniform JSON body
-// {"error": "..."}; 503s additionally carry a Retry-After header.
+// Every request carries an ID — the inbound X-Request-ID header when
+// present, else generated — echoed as a response header, attached to
+// log lines and to the trace recorded for /v1 requests. Every error
+// response — including 404/405 fallbacks and 503s from the hardening
+// middleware — carries the uniform JSON body {"error": "...",
+// "request_id": "..."}; 503s additionally carry a Retry-After header.
 package httpapi
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"expertfind"
+	"expertfind/internal/telemetry"
 )
 
 // Handler serves the JSON API over a System.
 type Handler struct {
-	sys  atomic.Pointer[expertfind.System]
-	mux  *http.ServeMux
-	opts Options
-	sem  chan struct{}
-	root http.Handler
+	sys    atomic.Pointer[expertfind.System]
+	mux    *http.ServeMux
+	opts   Options
+	sem    chan struct{}
+	root   http.Handler
+	tracer *telemetry.Tracer
 }
 
 // New returns the API handler with default (zero) Options.
@@ -55,7 +69,10 @@ func New(sys *expertfind.System) *Handler {
 // work immediately while /v1 answers 503 until SetSystem installs a
 // corpus, so the listener can come up before the index is built.
 func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
-	h := &Handler{mux: http.NewServeMux(), opts: opts}
+	h := &Handler{mux: http.NewServeMux(), opts: opts, tracer: opts.Tracer}
+	if h.tracer == nil {
+		h.tracer = telemetry.DefaultTracer()
+	}
 	if sys != nil {
 		h.sys.Store(sys)
 	}
@@ -64,6 +81,17 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 	}
 	h.mux.HandleFunc("GET /healthz", h.health)
 	h.mux.HandleFunc("GET /readyz", h.ready)
+	h.mux.HandleFunc("GET /version", h.version)
+	h.mux.Handle("GET /metrics", telemetry.MetricsHandler(telemetry.Default()))
+	h.mux.Handle("GET /debug/traces", telemetry.TracesHandler(h.tracer))
+	if opts.Debug {
+		h.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		h.mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 	h.mux.HandleFunc("GET /v1/stats", h.v1(h.stats))
 	h.mux.HandleFunc("GET /v1/domains", h.v1(h.domains))
 	h.mux.HandleFunc("GET /v1/queries", h.v1(h.queries))
@@ -79,7 +107,7 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 	if opts.Logger != nil {
 		root = withLogging(opts.Logger, root)
 	}
-	h.root = root
+	h.root = withRequestID(root)
 	return h
 }
 
@@ -95,30 +123,48 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.root.ServeHTTP(w, r)
 }
 
-// route dispatches through the mux, rewriting its plain-text 404/405
-// fallbacks into the API's uniform JSON error shape while preserving
-// the status and the Allow header the mux computes.
+// route dispatches through the mux, measuring every request into the
+// per-route metrics (count by status, latency histogram, in-flight
+// gauge) and rewriting the mux's plain-text 404/405 fallbacks into
+// the API's uniform JSON error shape while preserving the status and
+// the Allow header the mux computes.
 func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 	handler, pattern := h.mux.Handler(r)
+	route := routeLabel(pattern)
+	mInFlight.Inc()
+	defer mInFlight.Dec()
+	t0 := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+
 	if pattern != "" {
-		handler.ServeHTTP(w, r)
-		return
+		handler.ServeHTTP(sw, r)
+	} else {
+		rec := &timeoutWriter{header: make(http.Header)}
+		handler.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusNotFound
+		}
+		if allow := rec.header.Get("Allow"); allow != "" {
+			sw.Header().Set("Allow", allow)
+		}
+		writeError(sw, r, status, http.StatusText(status))
 	}
-	rec := &timeoutWriter{header: make(http.Header)}
-	handler.ServeHTTP(rec, r)
-	status := rec.status
+
+	status := sw.status
 	if status == 0 {
-		status = http.StatusNotFound
+		status = http.StatusOK
 	}
-	if allow := rec.header.Get("Allow"); allow != "" {
-		w.Header().Set("Allow", allow)
-	}
-	writeError(w, status, http.StatusText(status))
+	mDuration.With(route).ObserveSince(t0)
+	mRequests.With(route, strconv.Itoa(status)).Inc()
 }
 
 // v1 guards an API route: shed load when the concurrency cap is
 // saturated, and refuse with 503 until a corpus is installed. The
 // probe endpoints bypass this, so /healthz stays 200 while /v1 sheds.
+// Admitted requests run under a telemetry trace (named after the
+// route, identified by the request ID) so the pipeline stages they
+// touch show up in /debug/traces.
 func (h *Handler) v1(f func(*expertfind.System, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if h.sem != nil {
@@ -126,16 +172,22 @@ func (h *Handler) v1(f func(*expertfind.System, http.ResponseWriter, *http.Reque
 			case h.sem <- struct{}{}:
 				defer func() { <-h.sem }()
 			default:
-				h.opts.writeUnavailable(w, "server overloaded")
+				mShed.Inc()
+				h.opts.writeUnavailable(w, r, "server overloaded")
 				return
 			}
 		}
 		sys := h.sys.Load()
 		if sys == nil {
-			h.opts.writeUnavailable(w, "corpus not ready")
+			h.opts.writeUnavailable(w, r, "corpus not ready")
 			return
 		}
-		f(sys, w, r)
+		ctx, tr := h.tracer.Start(r.Context(), r.Method+" "+r.URL.Path, requestID(r.Context()))
+		defer tr.Finish()
+		if q := r.URL.Query().Get("q"); q != "" {
+			tr.SetAttr("q", q)
+		}
+		f(sys, w, r.WithContext(ctx))
 	}
 }
 
@@ -147,13 +199,13 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 // a corpus must be installed and the concurrency cap must have head
 // room (a saturated cap is the serving-side analogue of an open
 // circuit breaker — tell the balancer to route elsewhere).
-func (h *Handler) ready(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) ready(w http.ResponseWriter, r *http.Request) {
 	if h.sys.Load() == nil {
-		h.opts.writeUnavailable(w, "corpus not ready")
+		h.opts.writeUnavailable(w, r, "corpus not ready")
 		return
 	}
 	if h.sem != nil && len(h.sem) == cap(h.sem) {
-		h.opts.writeUnavailable(w, "server overloaded")
+		h.opts.writeUnavailable(w, r, "server overloaded")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -174,12 +226,12 @@ func (h *Handler) queries(sys *expertfind.System, w http.ResponseWriter, _ *http
 func (h *Handler) experts(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	domain := r.URL.Query().Get("domain")
 	if domain == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: domain")
+		writeError(w, r, http.StatusBadRequest, "missing required parameter: domain")
 		return
 	}
 	experts, err := sys.Experts(domain)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, r, http.StatusNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"domain": domain, "experts": experts})
@@ -194,17 +246,17 @@ type findResponse struct {
 func (h *Handler) find(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	need := r.URL.Query().Get("q")
 	if need == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: q")
+		writeError(w, r, http.StatusBadRequest, "missing required parameter: q")
 		return
 	}
 	opts, top, err := parseOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	experts, err := sys.Find(need, opts...)
+	experts, err := sys.FindContext(r.Context(), need, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if top > 0 && len(experts) > top {
@@ -223,17 +275,17 @@ type bestNetworkResponse struct {
 func (h *Handler) bestNetwork(sys *expertfind.System, w http.ResponseWriter, r *http.Request) {
 	need := r.URL.Query().Get("q")
 	if need == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter: q")
+		writeError(w, r, http.StatusBadRequest, "missing required parameter: q")
 		return
 	}
 	opts, top, err := parseOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	best, rankings, err := sys.BestNetwork(need, opts...)
+	best, rankings, err := sys.BestNetworkContext(r.Context(), need, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if top > 0 {
@@ -250,12 +302,12 @@ func (h *Handler) explain(sys *expertfind.System, w http.ResponseWriter, r *http
 	q := r.URL.Query()
 	need, expert := q.Get("q"), q.Get("expert")
 	if need == "" || expert == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameters: q, expert")
+		writeError(w, r, http.StatusBadRequest, "missing required parameters: q, expert")
 		return
 	}
 	opts, top, err := parseOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if top == 0 {
@@ -263,7 +315,7 @@ func (h *Handler) explain(sys *expertfind.System, w http.ResponseWriter, r *http
 	}
 	expl, err := sys.Explain(need, expert, top, opts...)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeError(w, r, http.StatusNotFound, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, expl)
@@ -324,6 +376,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeError sends the uniform JSON error body, tagged with the
+// request's ID when the middleware chain assigned one (so a client
+// report and the server's log line can be correlated).
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	body := map[string]string{"error": msg}
+	if id := requestID(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }

@@ -9,6 +9,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"expertfind/internal/telemetry"
 )
 
 // Options hardens the serving path. The zero value is the historical
@@ -28,6 +30,13 @@ type Options struct {
 	// Logger receives one line per request plus recovered panics; nil
 	// disables request logging (panics are still recovered).
 	Logger *log.Logger
+	// Tracer records per-request query traces for /debug/traces; nil
+	// selects telemetry.DefaultTracer().
+	Tracer *telemetry.Tracer
+	// Debug mounts net/http/pprof under /debug/pprof/ and expvar under
+	// /debug/vars. Off by default: profiling endpoints expose process
+	// internals and belong behind an operator's deliberate flag.
+	Debug bool
 }
 
 // retryAfterSeconds renders the Retry-After header value (whole
@@ -46,9 +55,9 @@ func (o Options) retryAfterSeconds() string {
 
 // writeUnavailable sends the uniform 503 payload with the Retry-After
 // hint that tells well-behaved clients when to come back.
-func (o Options) writeUnavailable(w http.ResponseWriter, msg string) {
+func (o Options) writeUnavailable(w http.ResponseWriter, r *http.Request, msg string) {
 	w.Header().Set("Retry-After", o.retryAfterSeconds())
-	writeError(w, http.StatusServiceUnavailable, msg)
+	writeError(w, r, http.StatusServiceUnavailable, msg)
 }
 
 // statusWriter captures the response status and size for logging.
@@ -75,7 +84,7 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 }
 
 // withLogging emits one line per request: method, path, status, size,
-// duration.
+// duration, request ID.
 func withLogging(l *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
@@ -85,7 +94,8 @@ func withLogging(l *log.Logger, next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		l.Printf("%s %s %d %dB %v", r.Method, r.URL.Path, status, sw.bytes, time.Since(t0).Round(time.Microsecond))
+		l.Printf("%s %s %d %dB %v rid=%s", r.Method, r.URL.Path, status, sw.bytes,
+			time.Since(t0).Round(time.Microsecond), requestID(r.Context()))
 	})
 }
 
@@ -96,10 +106,12 @@ func withRecovery(l *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
+				mPanics.Inc()
 				if l != nil {
-					l.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+					l.Printf("panic serving %s %s rid=%s: %v\n%s",
+						r.Method, r.URL.Path, requestID(r.Context()), p, debug.Stack())
 				}
-				writeError(w, http.StatusInternalServerError, "internal server error")
+				writeError(w, r, http.StatusInternalServerError, "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -174,7 +186,8 @@ func withTimeout(opts Options, next http.Handler) http.Handler {
 		case <-done:
 			tw.flush(w)
 		case <-ctx.Done():
-			opts.writeUnavailable(w, "request timed out")
+			mTimeouts.Inc()
+			opts.writeUnavailable(w, r, "request timed out")
 		}
 	})
 }

@@ -23,6 +23,22 @@ import (
 	"expertfind/internal/analysis"
 	"expertfind/internal/kb"
 	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
+)
+
+// Query-path metrics: how many postings each Score call walks is the
+// raw unit of matching work, what the later sharding/caching PRs must
+// move. One atomic add per query keeps the hot loops untouched.
+var (
+	mQueries = telemetry.Default().Counter(
+		"expertfind_index_queries_total",
+		"Score calls evaluated against the index.")
+	mPostings = telemetry.Default().Counter(
+		"expertfind_index_postings_scored_total",
+		"Term and entity postings accumulated across Score calls.")
+	mMatches = telemetry.Default().Counter(
+		"expertfind_index_matches_total",
+		"Positively scored resources returned across Score calls.")
 )
 
 // DocID identifies an indexed resource.
@@ -143,6 +159,7 @@ type ScoredDoc struct {
 // matching (alpha = 0); the paper settles on alpha = 0.6 (§3.3.2).
 func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
 	scores := make(map[DocID]float64)
+	postings := 0
 
 	if alpha > 0 {
 		for t, qtf := range need.Terms {
@@ -154,6 +171,7 @@ func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
 				continue
 			}
 			w := alpha * irf * irf
+			postings += len(ix.terms[t])
 			for _, p := range ix.terms[t] {
 				scores[p.doc] += float64(p.tf) * w
 			}
@@ -167,6 +185,7 @@ func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
 				continue
 			}
 			w := (1 - alpha) * eirf * eirf
+			postings += len(ix.entities[e])
 			for _, p := range ix.entities[e] {
 				// Eq. 2: we(e,r) = 1 + dScore when the entity was
 				// recognized with positive confidence.
@@ -191,5 +210,8 @@ func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
 		}
 		return out[i].Doc < out[j].Doc
 	})
+	mQueries.Inc()
+	mPostings.Add(float64(postings))
+	mMatches.Add(float64(len(out)))
 	return out
 }

@@ -28,6 +28,13 @@ type Breaker struct {
 	policy BreakerPolicy
 	clock  *Clock
 
+	// OnStateChange, if set before the breaker is used, is invoked
+	// whenever the breaker transitions between closed and open (true =
+	// now open). It runs while the breaker's lock is held, so it must
+	// be fast and must not call back into the breaker; its intended use
+	// is bridging breaker state into a telemetry gauge.
+	OnStateChange func(open bool)
+
 	mu        sync.Mutex
 	failures  int
 	open      bool
@@ -68,9 +75,13 @@ func (b *Breaker) Success() {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	wasOpen := b.open
 	b.failures = 0
 	b.open = false
 	b.probing = false
+	if wasOpen && b.OnStateChange != nil {
+		b.OnStateChange(false)
+	}
 }
 
 // Failure reports a failed call. It trips the breaker after Threshold
@@ -84,12 +95,27 @@ func (b *Breaker) Failure() {
 	defer b.mu.Unlock()
 	b.failures++
 	if b.probing || b.failures >= b.policy.Threshold {
+		wasOpen := b.open
 		b.open = true
 		b.probing = false
 		b.failures = 0
 		b.openUntil = b.clock.Now().Add(b.policy.Cooldown)
 		b.trips++
+		if !wasOpen && b.OnStateChange != nil {
+			b.OnStateChange(true)
+		}
 	}
+}
+
+// Open reports whether the breaker is currently open (cooldown may
+// have elapsed without a probe yet).
+func (b *Breaker) Open() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
 }
 
 // Trips returns how many times the breaker has tripped open.

@@ -1,6 +1,26 @@
 package socialgraph
 
-import "sort"
+import (
+	"sort"
+	"time"
+
+	"expertfind/internal/telemetry"
+)
+
+// Traversal metrics: ResourceCandidateMap is the expensive structure
+// behind expert ranking; these expose how often it is rebuilt (cache
+// misses upstream) and how much graph it walks.
+var (
+	mTraversals = telemetry.Default().Counter(
+		"expertfind_graph_traversals_total",
+		"Per-candidate ResourcesWithin traversals performed by ResourceCandidateMap.")
+	mTraversalHits = telemetry.Default().Counter(
+		"expertfind_graph_traversal_resources_total",
+		"Resource hits (candidate, resource, distance) collected by ResourceCandidateMap.")
+	mTraversalSeconds = telemetry.Default().Histogram(
+		"expertfind_graph_traversal_duration_seconds",
+		"Wall time of one full ResourceCandidateMap build.", nil)
+)
 
 // TraversalOptions controls the reach of the social-graph exploration
 // around an expert candidate (paper §2.2, Table 1).
@@ -175,12 +195,17 @@ type CandidateDistance struct {
 // the expert-ranking step (Eq. 3) consumes to attribute relevant
 // resources to candidates.
 func (g *Graph) ResourceCandidateMap(candidates []UserID, opts TraversalOptions) map[ResourceID][]CandidateDistance {
+	defer mTraversalSeconds.ObserveSince(time.Now())
+	hits := 0
 	out := make(map[ResourceID][]CandidateDistance)
 	for _, u := range candidates {
 		for _, h := range g.ResourcesWithin(u, opts) {
 			out[h.Resource] = append(out[h.Resource], CandidateDistance{Candidate: u, Distance: h.Distance})
+			hits++
 		}
 	}
+	mTraversals.Add(float64(len(candidates)))
+	mTraversalHits.Add(float64(hits))
 	return out
 }
 

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets, in seconds: half a
+// millisecond up to ten seconds, the range a query or HTTP request in
+// this system can plausibly span.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets ("le" upper
+// bounds) and tracks their sum — enough to derive rates and quantile
+// estimates in Prometheus. All methods are safe for concurrent use.
+//
+// A value equal to a bucket's upper bound counts into that bucket
+// (the Prometheus "less than or equal" convention); values above the
+// last bound count only into the implicit +Inf bucket.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// normalizeBuckets sorts and deduplicates the bounds, defaulting nil
+// (or empty) to DefBuckets and dropping a trailing +Inf (implicit).
+func normalizeBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	b := make([]float64, len(buckets))
+	copy(b, buckets)
+	sort.Float64s(b)
+	out := b[:0]
+	for i, v := range b {
+		if i > 0 && v == b[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	if n := len(out); n > 0 && out[n-1] > 1e308 {
+		out = out[:n-1]
+	}
+	return out
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bound ≥ v; len(upper) ⇒ +Inf
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the idiom for
+// timing a code section:
+//
+//	defer hist.ObserveSince(time.Now())
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// HistogramData is a histogram snapshot. Counts are per-bucket (not
+// cumulative), with one extra trailing entry for the +Inf overflow;
+// Count is their sum, so a rendered exposition is always internally
+// consistent even when the snapshot races concurrent observations.
+type HistogramData struct {
+	Buckets []float64
+	Counts  []uint64
+	Sum     float64
+	Count   uint64
+}
+
+func (h *Histogram) snapshot() *HistogramData {
+	d := &HistogramData{Buckets: h.upper, Counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+		d.Count += d.Counts[i]
+	}
+	d.Sum = h.sum.Load()
+	return d
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations so far.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }

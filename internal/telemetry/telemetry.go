@@ -1,0 +1,57 @@
+// Package telemetry is the observability layer of the expert finding
+// system: a dependency-free metrics registry (counters, gauges and
+// fixed-bucket histograms with label support, rendered in the
+// Prometheus text exposition format) plus lightweight per-query span
+// tracing carried through context.Context, with a bounded in-memory
+// ring of recent traces.
+//
+// The industrial expert-finding systems this reproduction follows run
+// their ranking pipelines under continuous per-stage measurement;
+// this package gives the repo the same layer without leaving the
+// standard library. Instrumented packages register their metrics as
+// package-level variables against the process-wide Default registry,
+// promauto-style:
+//
+//	var queries = telemetry.Default().Counter(
+//		"expertfind_queries_total", "Expert-finding queries served.")
+//
+// and the serving layer exposes the registry at /metrics and the
+// default tracer's ring at /debug/traces (internal/httpapi).
+//
+// Naming follows the Prometheus conventions: every metric is prefixed
+// expertfind_, counters end in _total, durations are histograms in
+// seconds named *_duration_seconds or *_seconds_total.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the instrumented
+// packages (core, index, socialgraph, crawler, httpapi) record into
+// and that /metrics serves.
+func Default() *Registry { return defaultRegistry }
+
+var defaultTracer = NewTracer(128)
+
+// DefaultTracer returns the process-wide tracer whose ring of recent
+// query traces /debug/traces serves.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+var idFallback atomic.Uint64
+
+// NewID returns a fresh 16-hex-character identifier for traces and
+// requests. IDs are random (crypto/rand), falling back to a process
+// counter if the system randomness source fails.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", idFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed section of a trace (a pipeline stage). Create
+// spans with Trace.StartSpan and close them with End. A nil *Span is
+// valid and inert, so instrumented code needs no nil checks.
+type Span struct {
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	dur   time.Duration
+	attrs map[string]string
+	ended bool
+}
+
+// End closes the span, fixing its duration. Further Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[k] = v
+}
+
+// Trace records the spans of one query or request. Create traces with
+// Tracer.Start, which also threads the trace through a context; a nil
+// *Trace (what TraceFrom returns on an uninstrumented context) is
+// valid and inert.
+type Trace struct {
+	tracer *Tracer
+
+	mu       sync.Mutex
+	id       string
+	name     string
+	start    time.Time
+	dur      time.Duration
+	attrs    map[string]string
+	spans    []*Span
+	finished bool
+}
+
+// ID returns the trace identifier ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a named span; close it with End.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// SetAttr attaches a key/value annotation to the trace itself.
+func (t *Trace) SetAttr(k, v string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string)
+	}
+	t.attrs[k] = v
+}
+
+// Finish closes the trace and publishes it into its tracer's ring of
+// recent traces. Further Finishes are no-ops.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.dur = time.Since(t.start)
+	tracer := t.tracer
+	t.mu.Unlock()
+	if tracer != nil {
+		tracer.record(t)
+	}
+}
+
+// SpanSnapshot is the JSON-able form of a finished span.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// StartOffsetUS is the span's start relative to the trace start,
+	// in microseconds.
+	StartOffsetUS int64             `json:"start_offset_us"`
+	DurationUS    int64             `json:"duration_us"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is the JSON-able form of a finished trace, what
+// /debug/traces serves.
+type TraceSnapshot struct {
+	ID         string            `json:"id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Spans      []SpanSnapshot    `json:"spans"`
+}
+
+func (t *Trace) snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{
+		ID:         t.id,
+		Name:       t.name,
+		Start:      t.start,
+		DurationUS: t.dur.Microseconds(),
+		Attrs:      copyAttrs(t.attrs),
+		Spans:      make([]SpanSnapshot, 0, len(t.spans)),
+	}
+	for _, sp := range t.spans {
+		sp.mu.Lock()
+		snap.Spans = append(snap.Spans, SpanSnapshot{
+			Name:          sp.name,
+			StartOffsetUS: sp.start.Sub(t.start).Microseconds(),
+			DurationUS:    sp.dur.Microseconds(),
+			Attrs:         copyAttrs(sp.attrs),
+		})
+		sp.mu.Unlock()
+	}
+	return snap
+}
+
+func copyAttrs(m map[string]string) map[string]string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+type traceCtxKey struct{}
+
+// TraceFrom returns the trace carried by ctx, or nil (inert) when the
+// context is not traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// Tracer mints traces and keeps a bounded in-memory ring of the most
+// recently finished ones. All methods are safe for concurrent use.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace // newest at (next-1+len)%len once full
+	next int
+	n    int
+}
+
+// NewTracer returns a tracer retaining the last capacity finished
+// traces (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*Trace, capacity)}
+}
+
+// Start mints a trace and attaches it to ctx. id names the trace
+// externally (a request ID); empty generates one. Call Finish on the
+// returned trace to publish it into the ring.
+func (tr *Tracer) Start(ctx context.Context, name, id string) (context.Context, *Trace) {
+	if id == "" {
+		id = NewID()
+	}
+	t := &Trace{tracer: tr, id: id, name: name, start: time.Now()}
+	return context.WithValue(ctx, traceCtxKey{}, t), t
+}
+
+func (tr *Tracer) record(t *Trace) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	if tr.n < len(tr.ring) {
+		tr.n++
+	}
+}
+
+// Recent snapshots the retained traces, newest first, at most n of
+// them (n <= 0 returns all retained).
+func (tr *Tracer) Recent(n int) []TraceSnapshot {
+	tr.mu.Lock()
+	traces := make([]*Trace, 0, tr.n)
+	for i := 0; i < tr.n; i++ {
+		idx := (tr.next - 1 - i + 2*len(tr.ring)) % len(tr.ring)
+		traces = append(traces, tr.ring[idx])
+	}
+	tr.mu.Unlock()
+	if n > 0 && len(traces) > n {
+		traces = traces[:n]
+	}
+	out := make([]TraceSnapshot, len(traces))
+	for i, t := range traces {
+		out[i] = t.snapshot()
+	}
+	return out
+}
+
+// Len returns how many traces the ring currently retains.
+func (tr *Tracer) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.n
+}
