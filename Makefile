@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench-smoke check clean
+.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke check clean
 
 all: check
 
@@ -23,15 +23,38 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-stress repeats the race-enabled suite to shake out schedules a
+# single pass misses (the sharded scorer and traversal cache are the
+# usual suspects).
+race-stress:
+	$(GO) test -race -count=2 ./...
+
+# fuzz-smoke runs each index fuzz target briefly; the checked-in
+# corpus under testdata/fuzz is replayed by the plain test target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzIndexScore$$' -fuzztime=$(FUZZTIME) ./internal/index/
+	$(GO) test -run '^$$' -fuzz '^FuzzShardedMergeEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/index/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadIndex$$' -fuzztime=$(FUZZTIME) ./internal/index/
+
+# cover-check fails when coverage of the scoring-critical packages
+# drops below the floors recorded before the sharded-scoring PR
+# (internal/index 91.5%, internal/core 98.2%).
+cover-check:
+	@$(GO) test -cover ./internal/index/ ./internal/core/ | awk ' \
+		/internal\/index/ { split($$5, a, "%"); if (a[1]+0 < 91.5) { print "coverage floor broken: internal/index " $$5 " < 91.5%"; bad=1 } } \
+		/internal\/core/  { split($$5, a, "%"); if (a[1]+0 < 98.2) { print "coverage floor broken: internal/core " $$5 " < 98.2%"; bad=1 } } \
+		{ print } END { exit bad }'
+
 # bench-smoke compiles and runs the cheap benchmarks once, catching
 # bit-rot in the instrumented hot paths without a full bench run.
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./internal/telemetry/ ./internal/index/
 
 # check is what CI runs: formatting, static analysis, build, the
-# race-enabled test suite (which subsumes the plain one), and the
-# bench smoke.
-check: fmt vet build race bench-smoke
+# race-enabled test suite (which subsumes the plain one), the bench
+# smoke, and the coverage floors.
+check: fmt vet build race bench-smoke cover-check
 
 clean:
 	$(GO) clean ./...

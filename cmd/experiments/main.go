@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-run id,id,...]
+//	experiments [-seed N] [-scale F] [-index-shards N] [-run id,id,...]
 //	            [-fault-rates F,F,...] [-fault-seed N] [-retries N]
 //
 // Experiment ids: fig5a fig5b fig6 fig7 table2 fig8 table3 fig9
@@ -29,6 +29,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "dataset generation seed")
 	scale := flag.Float64("scale", 1.0, "corpus volume multiplier")
+	indexShards := flag.Int("index-shards", 0, "document shards scored in parallel per query (0 = GOMAXPROCS, 1 = monolithic)")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	faultRates := flag.String("fault-rates", "", "comma-separated API failure rates for the faults sweep (default 0,0.05,0.1,0.25,0.5)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault injection seed for the faults sweep (default 23)")
@@ -100,7 +101,7 @@ func main() {
 	}
 
 	t0 := time.Now()
-	sys := experiments.BuildSystem(dataset.Config{Seed: *seed, Scale: *scale})
+	sys := experiments.BuildSystem(dataset.Config{Seed: *seed, Scale: *scale, IndexShards: *indexShards})
 	fmt.Printf("system: %d resources generated, %d indexed, %d candidates (built in %v)\n\n",
 		sys.DS.Graph.NumResources(), sys.Kept, len(sys.DS.Candidates), time.Since(t0).Round(time.Millisecond))
 

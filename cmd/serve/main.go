@@ -4,8 +4,8 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
-//	      [-request-timeout D] [-max-concurrent N] [-retry-after D]
-//	      [-debug]
+//	      [-index-shards N] [-request-timeout D] [-max-concurrent N]
+//	      [-retry-after D] [-debug]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed (ignored with -corpus)")
 	scale := flag.Float64("scale", 0.5, "corpus volume multiplier (ignored with -corpus)")
 	corpus := flag.String("corpus", "", "load a saved corpus snapshot instead of generating")
+	indexShards := flag.Int("index-shards", 0, "document shards scored in parallel per query (0 = GOMAXPROCS, 1 = monolithic)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
 	maxConc := flag.Int("max-concurrent", 64, "max in-flight /v1 requests before shedding load (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
@@ -64,16 +65,16 @@ func main() {
 			err error
 		)
 		if *corpus != "" {
-			sys, err = expertfind.NewSystemFromCorpus(*corpus)
+			sys, err = expertfind.NewSystemFromCorpusShards(*corpus, *indexShards)
 			if err != nil {
 				log.Fatalf("serve: corpus: %v", err)
 			}
 		} else {
-			sys = expertfind.NewSystem(expertfind.Config{Seed: *seed, Scale: *scale})
+			sys = expertfind.NewSystem(expertfind.Config{Seed: *seed, Scale: *scale, IndexShards: *indexShards})
 		}
 		st := sys.Stats()
-		log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed",
-			time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources)
+		log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed across %d shards",
+			time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources, st.IndexShards)
 		handler.SetSystem(sys)
 	}()
 

@@ -73,6 +73,11 @@ type Config struct {
 	Candidates int
 	// Scale multiplies resource volumes (default 1.0 ≈ 20k resources).
 	Scale float64
+	// IndexShards is the number of document-hash shards the resource
+	// index is split into; shards are scored concurrently per query.
+	// 0 selects GOMAXPROCS, 1 forces a monolithic index. Rankings are
+	// identical for any value.
+	IndexShards int
 }
 
 // Expert is one ranked expert candidate.
@@ -95,11 +100,12 @@ type Query struct {
 
 // Stats summarizes the corpus behind a System.
 type Stats struct {
-	Candidates int
-	Resources  int // generated resources, all languages
-	Indexed    int // English resources surviving the filter
-	Users      int // all users, externals included
-	WebPages   int // synthetic linked pages
+	Candidates  int
+	Resources   int // generated resources, all languages
+	Indexed     int // English resources surviving the filter
+	Users       int // all users, externals included
+	WebPages    int // synthetic linked pages
+	IndexShards int // document-hash shards scoring in parallel
 }
 
 // System is a ready-to-query expert finding system over a generated
@@ -118,16 +124,27 @@ func NewSystem(cfg Config) *System {
 		Seed:          cfg.Seed,
 		NumCandidates: cfg.Candidates,
 		Scale:         cfg.Scale,
+		IndexShards:   cfg.IndexShards,
 	})
 	return wrapSystem(inner)
 }
 
 // NewSystemFromCorpus loads a corpus snapshot previously saved with
-// SaveCorpus (or `datagen -save`) and indexes it.
+// SaveCorpus (or `datagen -save`) and indexes it, with the shard
+// count the snapshot was generated with (0 = GOMAXPROCS).
 func NewSystemFromCorpus(path string) (*System, error) {
+	return NewSystemFromCorpusShards(path, 0)
+}
+
+// NewSystemFromCorpusShards is NewSystemFromCorpus with an explicit
+// index shard count; 0 keeps the snapshot's configured value.
+func NewSystemFromCorpusShards(path string, shards int) (*System, error) {
 	ds, err := corpusio.LoadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if shards != 0 {
+		ds.Config.IndexShards = shards
 	}
 	return wrapSystem(experiments.BuildSystemFromDataset(ds)), nil
 }
@@ -135,6 +152,7 @@ func NewSystemFromCorpus(path string) (*System, error) {
 // NewSystemFromCorpusAndIndex loads a corpus snapshot together with a
 // pre-built index segment (saved with SaveIndex), skipping the
 // analysis pass entirely — the fast path for serving a large corpus.
+// The segment is re-split into the snapshot's configured shard count.
 func NewSystemFromCorpusAndIndex(corpusPath, indexPath string) (*System, error) {
 	ds, err := corpusio.LoadFile(corpusPath)
 	if err != nil {
@@ -380,12 +398,17 @@ func (s *System) Experts(domain string) ([]string, error) {
 // Stats returns corpus statistics.
 func (s *System) Stats() Stats {
 	ds := s.inner.DS
+	shards := 1
+	if ps, ok := s.inner.Finder.Index().(index.ParallelSearcher); ok {
+		shards = ps.NumShards()
+	}
 	return Stats{
-		Candidates: len(ds.Candidates),
-		Resources:  ds.Graph.NumResources(),
-		Indexed:    s.inner.Kept,
-		Users:      ds.Graph.NumUsers(),
-		WebPages:   ds.Web.Len(),
+		Candidates:  len(ds.Candidates),
+		Resources:   ds.Graph.NumResources(),
+		Indexed:     s.inner.Kept,
+		Users:       ds.Graph.NumUsers(),
+		WebPages:    ds.Web.Len(),
+		IndexShards: shards,
 	}
 }
 

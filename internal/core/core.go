@@ -86,6 +86,14 @@ type Params struct {
 	// DistanceWeights override wr per distance; the zero value
 	// selects DefaultDistanceWeights.
 	DistanceWeights [3]float64
+	// ScoreWorkers bounds the index-scoring worker pool for this
+	// query when the finder's index is sharded
+	// (index.ParallelSearcher): 0 keeps the index's own
+	// GOMAXPROCS-sized default, 1 forces sequential shard scoring,
+	// larger values allow up to that many concurrent shard scorers.
+	// Ignored for non-sharded indexes. Results are identical for any
+	// value — the knob trades latency against CPU, never output.
+	ScoreWorkers int
 }
 
 func (p Params) alpha() float64 {
@@ -133,7 +141,7 @@ type ExpertScore struct {
 // per traversal configuration; the cache is safe for concurrent use.
 type Finder struct {
 	graph      *socialgraph.Graph
-	index      *index.Index
+	index      index.Searcher
 	pipe       *analysis.Pipeline
 	candidates []socialgraph.UserID
 
@@ -141,9 +149,11 @@ type Finder struct {
 	rcmCache map[string]map[socialgraph.ResourceID][]socialgraph.CandidateDistance
 }
 
-// NewFinder assembles a Finder. candidates is the expert-candidate
-// pool CE; nil selects every candidate user in the graph.
-func NewFinder(g *socialgraph.Graph, ix *index.Index, pipe *analysis.Pipeline, candidates []socialgraph.UserID) *Finder {
+// NewFinder assembles a Finder. ix is either a monolithic
+// *index.Index or an *index.Sharded (the Params.ScoreWorkers knob
+// applies to the latter). candidates is the expert-candidate pool CE;
+// nil selects every candidate user in the graph.
+func NewFinder(g *socialgraph.Graph, ix index.Searcher, pipe *analysis.Pipeline, candidates []socialgraph.UserID) *Finder {
 	if candidates == nil {
 		candidates = g.Candidates()
 	}
@@ -167,7 +177,18 @@ func (f *Finder) Candidates() []socialgraph.UserID {
 func (f *Finder) Graph() *socialgraph.Graph { return f.graph }
 
 // Index returns the underlying resource index.
-func (f *Finder) Index() *index.Index { return f.index }
+func (f *Finder) Index() index.Searcher { return f.index }
+
+// score runs Eq. (1) matching, honoring the per-query worker bound
+// when the index supports parallel shard scoring.
+func (f *Finder) score(need analysis.Analyzed, p Params) []index.ScoredDoc {
+	if p.ScoreWorkers != 0 {
+		if ps, ok := f.index.(index.ParallelSearcher); ok {
+			return ps.ScoreWorkers(need, p.alpha(), p.ScoreWorkers)
+		}
+	}
+	return f.index.Score(need, p.alpha())
+}
 
 // Pipeline returns the analysis pipeline.
 func (f *Finder) Pipeline() *analysis.Pipeline { return f.pipe }
@@ -210,7 +231,7 @@ func (f *Finder) FindAnalyzedContext(ctx context.Context, need analysis.Analyzed
 	sp.End()
 
 	sp, t0 = tr.StartSpan("index_match"), time.Now()
-	matches := filterReachable(f.index.Score(need, p.alpha()), rcm)
+	matches := filterReachable(f.score(need, p), rcm)
 	mStageSeconds.With("index_match").ObserveSince(t0)
 	sp.SetAttr("matches", strconv.Itoa(len(matches)))
 	sp.End()
@@ -228,7 +249,7 @@ func (f *Finder) FindAnalyzedContext(ctx context.Context, need analysis.Analyzed
 // candidate pool under p.Traversal — ordered by descending relevance,
 // before window truncation.
 func (f *Finder) Matches(need analysis.Analyzed, p Params) []index.ScoredDoc {
-	return filterReachable(f.index.Score(need, p.alpha()), f.reachability(p.Traversal))
+	return filterReachable(f.score(need, p), f.reachability(p.Traversal))
 }
 
 // filterReachable restricts scored resources to those present in the
@@ -251,6 +272,12 @@ func (f *Finder) RankFromMatches(matches []index.ScoredDoc, p Params) []ExpertSc
 
 // rankMatches is the Eq. (3) aggregation over an already-computed
 // reachability map.
+//
+// Determinism: scores accumulate in matches-slice × reachability-list
+// order (both deterministic), map iteration appears only when
+// assembling the output, and the final sort's comparator is a total
+// order (UserID is unique), so repeated calls are byte-identical. The
+// matching side holds the same contract (see index.queryPlan).
 func rankMatches(matches []index.ScoredDoc, rcm map[socialgraph.ResourceID][]socialgraph.CandidateDistance, p Params) []ExpertScore {
 	n := p.window(len(matches))
 	if n > len(matches) {

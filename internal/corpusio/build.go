@@ -1,0 +1,64 @@
+package corpusio
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/index"
+	"expertfind/internal/socialgraph"
+)
+
+// BuildShardedIndex analyzes every resource of the graph through pipe
+// and indexes the survivors of the language filter into a sharded
+// index. Both phases parallelize: analysis fans out over GOMAXPROCS
+// workers (the pipeline is stateless), then each shard is populated
+// by its own single writer via AddBatch, so no lock is ever
+// contended. shards <= 0 selects GOMAXPROCS.
+//
+// The returned kept count is the number of indexed resources. Output
+// is deterministic: shard routing is a pure function of the document
+// id and scoring is insertion-order invariant, so any worker
+// interleaving builds an equivalent index.
+func BuildShardedIndex(g *socialgraph.Graph, pipe *analysis.Pipeline, shards int) (*index.Sharded, int) {
+	n := g.NumResources()
+
+	type result struct {
+		a  analysis.Analyzed
+		ok bool
+	}
+	results := make([]result, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n && n > 0 {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				r := g.Resource(socialgraph.ResourceID(i))
+				a, ok := pipe.Analyze(r.Text, r.URLs)
+				results[i] = result{a: a, ok: ok}
+			}
+		}()
+	}
+	wg.Wait()
+
+	docs := make([]index.Doc, 0, n)
+	for i, res := range results {
+		if res.ok {
+			docs = append(docs, index.Doc{ID: socialgraph.ResourceID(i), A: res.a})
+		}
+	}
+	ix := index.NewSharded(shards)
+	ix.AddBatch(docs)
+	return ix, len(docs)
+}

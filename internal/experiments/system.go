@@ -17,12 +17,11 @@ package experiments
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"expertfind/internal/analysis"
 	"expertfind/internal/core"
+	"expertfind/internal/corpusio"
 	"expertfind/internal/dataset"
 	"expertfind/internal/index"
 	"expertfind/internal/socialgraph"
@@ -75,66 +74,26 @@ func BuildSystemFromDataset(ds *dataset.Dataset) *System {
 
 // BuildSystemWithIndex assembles a system from a dataset and a
 // pre-built index (loaded from a binary segment), skipping analysis.
-// The pipeline is still constructed for analyzing incoming needs.
+// The segment is re-split into the dataset's configured shard count
+// so scoring parallelizes like a freshly built system. The pipeline
+// is still constructed for analyzing incoming needs.
 func BuildSystemWithIndex(ds *dataset.Dataset, ix *index.Index) *System {
 	pipe := analysis.New(analysis.Options{Web: ds.Web})
+	sharded := index.NewShardedFromIndex(ix, ds.Config.IndexShards)
 	return &System{
 		DS:       ds,
-		Finder:   core.NewFinder(ds.Graph, ix, pipe, ds.Candidates),
-		Kept:     ix.NumDocs(),
+		Finder:   core.NewFinder(ds.Graph, sharded, pipe, ds.Candidates),
+		Kept:     sharded.NumDocs(),
 		needByID: make(map[int]analysis.Analyzed),
 	}
 }
 
 func buildFromDataset(ds *dataset.Dataset, opts analysis.Options) *System {
 	pipe := analysis.New(opts)
-	g := ds.Graph
-	n := g.NumResources()
-
-	// The analysis pipeline is stateless and the corpus large, so
-	// resources are analyzed in parallel; the index itself is built
-	// sequentially afterwards (its scoring is insertion-order
-	// invariant, but keeping the build single-writer keeps the index
-	// free of locks).
-	type result struct {
-		a  analysis.Analyzed
-		ok bool
-	}
-	results := make([]result, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n && n > 0 {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(n) {
-					return
-				}
-				r := g.Resource(socialgraph.ResourceID(i))
-				a, ok := pipe.Analyze(r.Text, r.URLs)
-				results[i] = result{a: a, ok: ok}
-			}
-		}()
-	}
-	wg.Wait()
-
-	ix := index.New()
-	kept := 0
-	for i, res := range results {
-		if res.ok {
-			ix.Add(socialgraph.ResourceID(i), res.a)
-			kept++
-		}
-	}
+	ix, kept := corpusio.BuildShardedIndex(ds.Graph, pipe, ds.Config.IndexShards)
 	return &System{
 		DS:       ds,
-		Finder:   core.NewFinder(g, ix, pipe, ds.Candidates),
+		Finder:   core.NewFinder(ds.Graph, ix, pipe, ds.Candidates),
 		Kept:     kept,
 		needByID: make(map[int]analysis.Analyzed),
 	}

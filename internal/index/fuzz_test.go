@@ -2,7 +2,12 @@ package index
 
 import (
 	"bytes"
+	"math"
+	"strings"
 	"testing"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/kb"
 )
 
 // FuzzReadIndex feeds arbitrary bytes to the binary index reader: it
@@ -31,6 +36,96 @@ func FuzzReadIndex(f *testing.F) {
 			if len(ix.terms[term]) > ix.NumDocs() {
 				t.Fatalf("term %q has more postings than docs", term)
 			}
+		}
+	})
+}
+
+// fuzzNeed derives an expertise need from raw fuzz input: whitespace
+// fields become query terms (so corpus vocabulary can be seeded
+// directly), entity ids and dScores are folded from the bytes.
+func fuzzNeed(needText string, entitySeed uint32) analysis.Analyzed {
+	need := analysis.Analyzed{
+		Terms:    map[string]int{},
+		Entities: map[kb.EntityID]analysis.EntityStats{},
+	}
+	for i, field := range strings.Fields(needText) {
+		if i >= 12 {
+			break
+		}
+		need.Terms[field] = 1 + i%3
+	}
+	for i := 0; i < int(entitySeed%5); i++ {
+		id := kb.EntityID((int(entitySeed) + 13*i) % 60)
+		need.Entities[id] = analysis.EntityStats{Freq: 1 + i, DScore: float64(entitySeed%101) / 100}
+	}
+	return need
+}
+
+// FuzzIndexScore throws arbitrary needs and alphas at Score and
+// checks the ranking contract: ordered by (score desc, doc asc), all
+// scores positive and finite, every match indexed, byte-identical on
+// repetition, and bit-identical between the sequential index and a
+// 3-shard split of the same documents.
+func FuzzIndexScore(f *testing.F) {
+	// Seeds drawn from the synthetic corpus vocabulary and entity space.
+	f.Add("swim pool train", uint32(7), uint8(60))
+	f.Add("php code", uint32(0), uint8(0))
+	f.Add("copper atom wave unseenterm", uint32(49), uint8(100))
+	f.Add("", uint32(3), uint8(33))
+
+	corpus := randomDocs(1, 120, 0)
+	flat := flatFromDocs(corpus)
+	sharded := NewSharded(3)
+	sharded.AddBatch(corpus)
+
+	f.Fuzz(func(t *testing.T, needText string, entitySeed uint32, alphaByte uint8) {
+		alpha := float64(alphaByte%101) / 100
+		need := fuzzNeed(needText, entitySeed)
+
+		got := flat.Score(need, alpha)
+		for i, sd := range got {
+			if !(sd.Score > 0) || math.IsInf(sd.Score, 0) || math.IsNaN(sd.Score) {
+				t.Fatalf("rank %d: bad score %v", i, sd.Score)
+			}
+			if !flat.Has(sd.Doc) {
+				t.Fatalf("rank %d: unknown doc %d", i, sd.Doc)
+			}
+			if i > 0 && scoredLess(sd, got[i-1]) {
+				t.Fatalf("ranking out of order at %d: %+v before %+v", i, got[i-1], sd)
+			}
+		}
+		assertScoredBitIdentical(t, "repeat", got, flat.Score(need, alpha))
+		assertScoredBitIdentical(t, "sharded", got, sharded.Score(need, alpha))
+	})
+}
+
+// FuzzShardedMergeEquivalence builds two disjoint random corpora with
+// fuzz-chosen sizes and shard counts, merges one sharded index into
+// the other (equal or re-routing path), and requires the result to
+// score bit-identically to a monolithic index over the union.
+func FuzzShardedMergeEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(4), uint8(4), "swim pool")
+	f.Add(int64(3), int64(4), uint8(3), uint8(5), "php copper milan")
+	f.Add(int64(5), int64(6), uint8(1), uint8(16), "train match game atom")
+
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, shardsA, shardsB uint8, needText string) {
+		nA, nB := int(shardsA%8)+1, int(shardsB%8)+1
+		docsA := randomDocs(seedA, 40+int((seedA%7+7)%7)*10, 0)
+		docsB := randomDocs(seedB, 40+int((seedB%7+7)%7)*10, 10_000)
+
+		flat := flatFromDocs(append(append([]Doc(nil), docsA...), docsB...))
+		a := NewSharded(nA)
+		a.AddBatch(docsA)
+		b := NewSharded(nB)
+		b.AddBatch(docsB)
+		a.Merge(b)
+
+		if flat.NumDocs() != a.NumDocs() {
+			t.Fatalf("merged doc count %d, want %d", a.NumDocs(), flat.NumDocs())
+		}
+		need := fuzzNeed(needText, uint32(seedA)+uint32(seedB))
+		for _, alpha := range []float64{0, 0.6, 1} {
+			assertScoredBitIdentical(t, "merge", flat.Score(need, alpha), a.Score(need, alpha))
 		}
 	})
 }

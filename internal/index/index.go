@@ -17,6 +17,7 @@
 package index
 
 import (
+	"io"
 	"math"
 	"sort"
 
@@ -43,6 +44,37 @@ var (
 
 // DocID identifies an indexed resource.
 type DocID = socialgraph.ResourceID
+
+// Searcher is the query-side index API shared by the monolithic Index
+// and the sharded variant: everything the expert-finding pipeline
+// needs to weight, match and persist a collection.
+type Searcher interface {
+	Score(need analysis.Analyzed, alpha float64) []ScoredDoc
+	NumDocs() int
+	Has(id DocID) bool
+	DocFreq(term string) int
+	EntityFreq(e kb.EntityID) int
+	IRF(term string) float64
+	EIRF(e kb.EntityID) float64
+	io.WriterTo
+}
+
+// ParallelSearcher is implemented by indexes whose scoring fans out
+// over document shards on a bounded worker pool.
+type ParallelSearcher interface {
+	Searcher
+	// ScoreWorkers is Score with an explicit bound on the number of
+	// concurrent shard scorers: 0 selects the index's own default,
+	// 1 forces fully sequential scoring.
+	ScoreWorkers(need analysis.Analyzed, alpha float64, workers int) []ScoredDoc
+	// NumShards reports the shard count.
+	NumShards() int
+}
+
+var (
+	_ Searcher         = (*Index)(nil)
+	_ ParallelSearcher = (*Sharded)(nil)
+)
 
 type termPosting struct {
 	doc DocID
@@ -125,6 +157,13 @@ func (ix *Index) DocFreq(term string) int { return len(ix.terms[term]) }
 // EntityFreq returns the number of resources mentioning the entity.
 func (ix *Index) EntityFreq(e kb.EntityID) int { return len(ix.entities[e]) }
 
+// irf is the inverse resource frequency formula, log(1 + N/df),
+// shared by every stats provider so sequential and sharded scoring
+// compute bit-identical weights.
+func irf(numDocs, df int) float64 {
+	return math.Log(1 + float64(numDocs)/float64(df))
+}
+
 // IRF returns the inverse resource frequency of a term over the
 // current collection: log(1 + N/df). Unseen terms contribute nothing
 // to matching, so their IRF is reported as 0.
@@ -133,7 +172,7 @@ func (ix *Index) IRF(term string) float64 {
 	if df == 0 {
 		return 0
 	}
-	return math.Log(1 + float64(len(ix.docs))/float64(df))
+	return irf(len(ix.docs), df)
 }
 
 // EIRF returns the inverse resource frequency of an entity.
@@ -142,7 +181,7 @@ func (ix *Index) EIRF(e kb.EntityID) float64 {
 	if df == 0 {
 		return 0
 	}
-	return math.Log(1 + float64(len(ix.docs))/float64(df))
+	return irf(len(ix.docs), df)
 }
 
 // ScoredDoc is a resource with its relevance for a need.
@@ -151,50 +190,107 @@ type ScoredDoc struct {
 	Score float64
 }
 
-// Score evaluates Eq. (1) for every resource matching the analyzed
-// need and returns the matches with positive score, ordered by
-// descending score (ties broken by ascending DocID for determinism).
-//
-// alpha balances textual term matching (alpha = 1) against entity
-// matching (alpha = 0); the paper settles on alpha = 0.6 (§3.3.2).
-func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
-	scores := make(map[DocID]float64)
-	postings := 0
+// collectionStats is the collection-level view needed to weight a
+// query: document count and per-term/per-entity resource frequencies.
+// For a sharded index these are global (summed across shards), so the
+// same need yields the same query plan regardless of shard count.
+type collectionStats interface {
+	NumDocs() int
+	DocFreq(term string) int
+	EntityFreq(e kb.EntityID) int
+}
+
+// plannedTerm / plannedEntity carry one query dimension with its
+// collection weight fully resolved (α·irf² resp. (1−α)·eirf²).
+type plannedTerm struct {
+	term string
+	w    float64
+}
+
+type plannedEntity struct {
+	e kb.EntityID
+	w float64
+}
+
+// queryPlan is the deterministic, weight-resolved form of a need:
+// terms in lexicographic order, entities in ascending ID order, with
+// zero-weight dimensions dropped. Planning once and walking postings
+// in plan order makes every Score evaluation accumulate each
+// document's float64 score in the same addition order — byte-identical
+// output across runs and across shard counts (each document lives in
+// exactly one shard, so its addition chain never changes).
+type queryPlan struct {
+	terms    []plannedTerm
+	entities []plannedEntity
+}
+
+func planQuery(need analysis.Analyzed, alpha float64, st collectionStats) queryPlan {
+	var plan queryPlan
+	n := st.NumDocs()
 
 	if alpha > 0 {
+		terms := make([]string, 0, len(need.Terms))
 		for t, qtf := range need.Terms {
-			if qtf <= 0 {
+			if qtf > 0 {
+				terms = append(terms, t)
+			}
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			df := st.DocFreq(t)
+			if df == 0 {
 				continue
 			}
-			irf := ix.IRF(t)
-			if irf == 0 {
-				continue
-			}
-			w := alpha * irf * irf
-			postings += len(ix.terms[t])
-			for _, p := range ix.terms[t] {
-				scores[p.doc] += float64(p.tf) * w
-			}
+			v := irf(n, df)
+			plan.terms = append(plan.terms, plannedTerm{term: t, w: alpha * v * v})
 		}
 	}
 
 	if alpha < 1 {
+		ents := make([]kb.EntityID, 0, len(need.Entities))
 		for e := range need.Entities {
-			eirf := ix.EIRF(e)
-			if eirf == 0 {
+			ents = append(ents, e)
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i] < ents[j] })
+		for _, e := range ents {
+			df := st.EntityFreq(e)
+			if df == 0 {
 				continue
 			}
-			w := (1 - alpha) * eirf * eirf
-			postings += len(ix.entities[e])
-			for _, p := range ix.entities[e] {
-				// Eq. 2: we(e,r) = 1 + dScore when the entity was
-				// recognized with positive confidence.
-				we := 0.0
-				if p.dScore > 0 {
-					we = 1 + p.dScore
-				}
-				scores[p.doc] += float64(p.ef) * w * we
+			v := irf(n, df)
+			plan.entities = append(plan.entities, plannedEntity{e: e, w: (1 - alpha) * v * v})
+		}
+	}
+	return plan
+}
+
+// scorePlan walks this index's postings for an already-weighted plan
+// and returns the positive matches ordered by descending score (ties
+// broken by ascending DocID), plus the number of postings walked. The
+// plan's weights may come from a larger collection than this index
+// (the sharded path plans globally, scores per shard).
+func (ix *Index) scorePlan(plan queryPlan) ([]ScoredDoc, int) {
+	scores := make(map[DocID]float64)
+	postings := 0
+
+	for _, pt := range plan.terms {
+		ps := ix.terms[pt.term]
+		postings += len(ps)
+		for _, p := range ps {
+			scores[p.doc] += float64(p.tf) * pt.w
+		}
+	}
+	for _, pe := range plan.entities {
+		ps := ix.entities[pe.e]
+		postings += len(ps)
+		for _, p := range ps {
+			// Eq. 2: we(e,r) = 1 + dScore when the entity was
+			// recognized with positive confidence.
+			we := 0.0
+			if p.dScore > 0 {
+				we = 1 + p.dScore
 			}
+			scores[p.doc] += float64(p.ef) * pe.w * we
 		}
 	}
 
@@ -204,12 +300,30 @@ func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
 			out = append(out, ScoredDoc{Doc: d, Score: s})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc
-	})
+	sort.Slice(out, func(i, j int) bool { return scoredLess(out[i], out[j]) })
+	return out, postings
+}
+
+// scoredLess is the one ranking comparator: descending score, ties
+// broken by ascending DocID. Document IDs are unique, so it is a total
+// order and every sort/merge over it is deterministic.
+func scoredLess(a, b ScoredDoc) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// Score evaluates Eq. (1) for every resource matching the analyzed
+// need and returns the matches with positive score, ordered by
+// descending score (ties broken by ascending DocID for determinism).
+// Scores are accumulated in sorted term/entity order, so repeated
+// calls return byte-identical results.
+//
+// alpha balances textual term matching (alpha = 1) against entity
+// matching (alpha = 0); the paper settles on alpha = 0.6 (§3.3.2).
+func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
+	out, postings := ix.scorePlan(planQuery(need, alpha, ix))
 	mQueries.Inc()
 	mPostings.Add(float64(postings))
 	mMatches.Add(float64(len(out)))

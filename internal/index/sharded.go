@@ -1,0 +1,366 @@
+package index
+
+import (
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/kb"
+	"expertfind/internal/telemetry"
+)
+
+// Shard-path metrics: where each query's matching work lands and how
+// long every shard takes, so a skewed shard shows up as a fat
+// histogram rather than an invisible straggler.
+var (
+	mShardGauge = telemetry.Default().Gauge(
+		"expertfind_index_shards",
+		"Shard count of the most recently constructed sharded index.")
+	mShardScoreSeconds = telemetry.Default().HistogramVec(
+		"expertfind_index_shard_score_seconds",
+		"Per-shard wall time of one Score evaluation.", nil, "shard")
+)
+
+// Doc pairs a resource id with its analyzed form: the unit of bulk
+// indexing.
+type Doc struct {
+	ID DocID
+	A  analysis.Analyzed
+}
+
+// shard is one lock-guarded partition of the document space. The
+// inner Index stays lock-free; all synchronization lives here.
+type shard struct {
+	mu sync.RWMutex
+	ix *Index
+}
+
+// Sharded is an inverted index split into document-hash shards behind
+// the same API as Index. Building routes each document to exactly one
+// shard; scoring plans the query once against global collection
+// statistics, evaluates every shard concurrently on a bounded worker
+// pool, and merges the per-shard rankings with the deterministic
+// (descending score, ascending DocID) tie-break. Results are
+// byte-identical to a monolithic Index over the same documents, for
+// any shard count.
+//
+// Unlike Index, Sharded is safe for concurrent use: Add/Merge take a
+// per-shard write lock, queries take read locks. A Score overlapping
+// a mutation sees some consistent-per-shard interleaving of the two.
+type Sharded struct {
+	shards  []*shard
+	workers int
+}
+
+// NewSharded returns an empty index with n document-hash shards;
+// n <= 0 selects GOMAXPROCS. The scoring worker pool is bounded by
+// min(n, GOMAXPROCS at construction).
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Sharded{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{ix: New()}
+	}
+	s.workers = runtime.GOMAXPROCS(0)
+	if s.workers > n {
+		s.workers = n
+	}
+	mShardGauge.Set(float64(n))
+	return s
+}
+
+// NewShardedFromIndex splits an existing monolithic index (e.g. one
+// loaded from a binary segment) into n document-hash shards.
+func NewShardedFromIndex(ix *Index, n int) *Sharded {
+	s := NewSharded(n)
+	for d := range ix.docs {
+		s.shards[s.shardFor(d)].ix.docs[d] = struct{}{}
+	}
+	for t, ps := range ix.terms {
+		for _, p := range ps {
+			six := s.shards[s.shardFor(p.doc)].ix
+			six.terms[t] = append(six.terms[t], p)
+		}
+	}
+	for e, ps := range ix.entities {
+		for _, p := range ps {
+			six := s.shards[s.shardFor(p.doc)].ix
+			six.entities[e] = append(six.entities[e], p)
+		}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// shardFor routes a document to its shard. The mix function
+// (splitmix64 finalizer) decorrelates the route from sequential id
+// patterns; it is a pure function of the id, so the layout is stable
+// across processes and merges of equal shard counts stay aligned.
+func (s *Sharded) shardFor(d DocID) int {
+	h := uint64(uint32(d))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(len(s.shards)))
+}
+
+// Add indexes an analyzed resource under id, locking only the one
+// shard the document routes to. Adding the same id twice panics, as
+// with Index.Add.
+func (s *Sharded) Add(id DocID, a analysis.Analyzed) {
+	sh := s.shards[s.shardFor(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.ix.Add(id, a)
+}
+
+// AddBatch bulk-indexes docs with one goroutine per shard: documents
+// are bucketed by route first, then every shard is populated by a
+// single writer, so the build parallelizes without lock contention.
+func (s *Sharded) AddBatch(docs []Doc) {
+	buckets := make([][]Doc, len(s.shards))
+	for _, d := range docs {
+		i := s.shardFor(d.ID)
+		buckets[i] = append(buckets[i], d)
+	}
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, docs []Doc) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, d := range docs {
+				sh.ix.Add(d.ID, d.A)
+			}
+		}(sh, buckets[i])
+	}
+	wg.Wait()
+}
+
+// Merge folds another sharded index into this one. The document sets
+// must be disjoint (overlaps panic, as with Index.Merge). Equal shard
+// counts merge shard-pairwise — the hash routing is identical — while
+// differing counts re-route every posting individually.
+func (s *Sharded) Merge(other *Sharded) {
+	if len(other.shards) == len(s.shards) {
+		for i, sh := range s.shards {
+			osh := other.shards[i]
+			sh.mu.Lock()
+			osh.mu.RLock()
+			sh.ix.Merge(osh.ix)
+			osh.mu.RUnlock()
+			sh.mu.Unlock()
+		}
+		return
+	}
+	s.MergeIndex(other.Flatten())
+}
+
+// MergeIndex folds a monolithic index into this one, routing each
+// document to its shard. Document sets must be disjoint.
+func (s *Sharded) MergeIndex(other *Index) {
+	routed := NewShardedFromIndex(other, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.ix.Merge(routed.shards[i].ix)
+		sh.mu.Unlock()
+	}
+}
+
+// Flatten merges every shard into one monolithic Index (a copy; the
+// shards are not aliased).
+func (s *Sharded) Flatten() *Index {
+	out := New()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out.Merge(sh.ix)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// WriteTo serializes the index as one binary segment, identical to
+// the segment the equivalent monolithic Index would write (the codec
+// sorts everything, so shard layout leaves no trace).
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	return s.Flatten().WriteTo(w)
+}
+
+// NumDocs returns the number of indexed resources across all shards.
+func (s *Sharded) NumDocs() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.ix.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Has reports whether id is indexed.
+func (s *Sharded) Has(id DocID) bool {
+	sh := s.shards[s.shardFor(id)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.ix.Has(id)
+}
+
+// DocFreq returns the number of resources containing the term,
+// summed across shards.
+func (s *Sharded) DocFreq(term string) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.ix.terms[term])
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// EntityFreq returns the number of resources mentioning the entity,
+// summed across shards.
+func (s *Sharded) EntityFreq(e kb.EntityID) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.ix.entities[e])
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// IRF returns the inverse resource frequency of a term over the whole
+// collection (all shards), matching Index.IRF on the same documents.
+func (s *Sharded) IRF(term string) float64 {
+	df := s.DocFreq(term)
+	if df == 0 {
+		return 0
+	}
+	return irf(s.NumDocs(), df)
+}
+
+// EIRF returns the inverse resource frequency of an entity over the
+// whole collection.
+func (s *Sharded) EIRF(e kb.EntityID) float64 {
+	df := s.EntityFreq(e)
+	if df == 0 {
+		return 0
+	}
+	return irf(s.NumDocs(), df)
+}
+
+// Score evaluates Eq. (1) like Index.Score, scoring shards
+// concurrently on the index's worker pool. Output is byte-identical
+// to the monolithic index over the same documents.
+func (s *Sharded) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
+	return s.ScoreWorkers(need, alpha, 0)
+}
+
+// ScoreWorkers is Score with an explicit worker bound: 0 selects the
+// pool default (min(shards, GOMAXPROCS at construction)), 1 scores
+// shards sequentially, higher values allow up to that many concurrent
+// shard scorers (never more than one per shard).
+func (s *Sharded) ScoreWorkers(need analysis.Analyzed, alpha float64, workers int) []ScoredDoc {
+	plan := planQuery(need, alpha, s)
+
+	n := len(s.shards)
+	if workers <= 0 {
+		workers = s.workers
+	}
+	if workers > n {
+		workers = n
+	}
+
+	partials := make([][]ScoredDoc, n)
+	counts := make([]int, n)
+	if workers <= 1 {
+		for i := range s.shards {
+			partials[i], counts[i] = s.scoreShard(i, plan)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n {
+						return
+					}
+					partials[i], counts[i] = s.scoreShard(i, plan)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := mergeScored(partials)
+	postings := 0
+	for _, c := range counts {
+		postings += c
+	}
+	mQueries.Inc()
+	mPostings.Add(float64(postings))
+	mMatches.Add(float64(len(out)))
+	return out
+}
+
+func (s *Sharded) scoreShard(i int, plan queryPlan) ([]ScoredDoc, int) {
+	t0 := time.Now()
+	sh := s.shards[i]
+	sh.mu.RLock()
+	out, postings := sh.ix.scorePlan(plan)
+	sh.mu.RUnlock()
+	mShardScoreSeconds.With(strconv.Itoa(i)).ObserveSince(t0)
+	return out, postings
+}
+
+// mergeScored k-way merges per-shard rankings that are each already
+// sorted by scoredLess. Shards hold disjoint documents, so the
+// comparator is a total order and the merge is the unique global
+// ranking — no re-sort, no nondeterminism.
+func mergeScored(lists [][]ScoredDoc) []ScoredDoc {
+	nonEmpty := lists[:0:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+			total += len(l)
+		}
+	}
+	if len(nonEmpty) == 1 {
+		return nonEmpty[0]
+	}
+	out := make([]ScoredDoc, 0, total)
+	heads := make([]int, len(nonEmpty))
+	for len(out) < total {
+		best := -1
+		for i, l := range nonEmpty {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best == -1 || scoredLess(l[heads[i]], nonEmpty[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, nonEmpty[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
