@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke check clean
+.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos check clean
 
 all: check
 
@@ -36,14 +36,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexScore$$' -fuzztime=$(FUZZTIME) ./internal/index/
 	$(GO) test -run '^$$' -fuzz '^FuzzShardedMergeEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/index/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadIndex$$' -fuzztime=$(FUZZTIME) ./internal/index/
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeNeed$$' -fuzztime=$(FUZZTIME) ./internal/analysis/
 
 # cover-check fails when coverage of the scoring-critical packages
 # drops below the floors recorded before the sharded-scoring PR
-# (internal/index 91.5%, internal/core 98.2%).
+# (internal/index 91.5%, internal/core 98.2%), or when the load
+# harness (internal/loadgen) drops below its 85% floor.
 cover-check:
-	@$(GO) test -cover ./internal/index/ ./internal/core/ | awk ' \
-		/internal\/index/ { split($$5, a, "%"); if (a[1]+0 < 91.5) { print "coverage floor broken: internal/index " $$5 " < 91.5%"; bad=1 } } \
-		/internal\/core/  { split($$5, a, "%"); if (a[1]+0 < 98.2) { print "coverage floor broken: internal/core " $$5 " < 98.2%"; bad=1 } } \
+	@$(GO) test -cover ./internal/index/ ./internal/core/ ./internal/loadgen/ | awk ' \
+		/internal\/index/   { split($$5, a, "%"); if (a[1]+0 < 91.5) { print "coverage floor broken: internal/index " $$5 " < 91.5%"; bad=1 } } \
+		/internal\/core/    { split($$5, a, "%"); if (a[1]+0 < 98.2) { print "coverage floor broken: internal/core " $$5 " < 98.2%"; bad=1 } } \
+		/internal\/loadgen/ { split($$5, a, "%"); if (a[1]+0 < 85.0) { print "coverage floor broken: internal/loadgen " $$5 " < 85.0%"; bad=1 } } \
 		{ print } END { exit bad }'
 
 # bench-smoke compiles and runs the cheap benchmarks once, catching
@@ -51,10 +54,25 @@ cover-check:
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./internal/telemetry/ ./internal/index/
 
+# loadtest-smoke runs the deterministic load harness in simulated
+# time against both drivers, writes BENCH_4.run.json, and fails on a
+# >20% p95 or throughput regression of the steady phase versus the
+# committed BENCH_4.json baseline. After an intentional performance
+# change, regenerate the baseline:
+#   go run ./cmd/loadtest -stamp=false -out BENCH_4.json
+loadtest-smoke:
+	$(GO) run ./cmd/loadtest -stamp=false -out BENCH_4.run.json -baseline BENCH_4.json
+
+# loadtest-chaos repeats the smoke run with mid-run fault injection
+# and a simulated rolling corpus swap; load-shed 503s must land in
+# the error taxonomy (shed/injected), not as harness failures.
+loadtest-chaos:
+	$(GO) run ./cmd/loadtest -stamp=false -chaos -out BENCH_4.chaos.json
+
 # check is what CI runs: formatting, static analysis, build, the
 # race-enabled test suite (which subsumes the plain one), the bench
-# smoke, and the coverage floors.
-check: fmt vet build race bench-smoke cover-check
+# smoke, the load-test SLO gate, and the coverage floors.
+check: fmt vet build race bench-smoke loadtest-smoke cover-check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,407 @@
+// Command loadtest drives the expert finding system with a
+// deterministic, corpus-derived workload and emits a machine-readable
+// BENCH report (internal/loadgen) that CI diffs across commits.
+//
+// Usage:
+//
+//	loadtest [-mode sim|real] [-driver inprocess|http|both]
+//	         [-seed N] [-corpus-seed N] [-scale F] [-corpus file.json.gz]
+//	         [-concurrency N] [-qps F] [-top N]
+//	         [-warmup-requests N] [-ramp-requests N] [-steady-requests N]
+//	         [-open-requests N] [-warmup D] [-ramp D] [-steady D]
+//	         [-chaos] [-chaos-transient F] [-chaos-ratelimit F]
+//	         [-chaos-latency D] [-chaos-requests N] [-chaos-duration D]
+//	         [-addr URL] [-max-concurrent N] [-request-timeout D]
+//	         [-out BENCH_4.json] [-baseline file] [-max-regress F]
+//	         [-stamp] [-rev REV] [-compare-only]
+//
+// Modes. In sim mode (the default), phases are request-count-bounded
+// and latency comes from a seeded service-time model on a virtual
+// clock: the report is byte-identical across runs with the same seed
+// (pass -stamp=false to drop the git-rev/timestamp provenance
+// fields). In real mode, phases are duration-bounded and latency is
+// wall-clock — use it for actual performance numbers.
+//
+// Drivers. "inprocess" exercises the pipeline through core.Finder
+// directly; "http" drives a live /v1/find — a self-hosted server on a
+// loopback port, or the server at -addr. "both" (default) runs the
+// two back to back over the same request stream.
+//
+// Chaos. -chaos appends a chaos phase: concurrency spikes to 4x and
+// every request passes the internal/faults gate first, so injected
+// transients/rate-limits (and, against a small -max-concurrent
+// server, genuine load-shed 503s) show up in the error taxonomy
+// while the harness still exits 0 — shed load is correct behavior,
+// not a harness failure.
+//
+// Gating. With -baseline, the run's steady-phase p95 and throughput
+// are compared against the saved report; regressions beyond
+// -max-regress (default 20%) exit nonzero. -compare-only gates
+// -out against -baseline without running anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"expertfind"
+	"expertfind/internal/httpapi"
+	"expertfind/internal/loadgen"
+	"expertfind/internal/resilience"
+)
+
+type options struct {
+	mode, driver string
+	seed         int64
+	corpusSeed   int64
+	scale        float64
+	corpusPath   string
+	indexShards  int
+
+	concurrency int
+	qps         float64
+	top         int
+
+	warmupReq, rampReq, steadyReq, openReq int
+	warmupDur, rampDur, steadyDur          time.Duration
+
+	chaos          bool
+	chaosTransient float64
+	chaosRateLimit float64
+	chaosLatency   time.Duration
+	chaosReq       int
+	chaosDur       time.Duration
+
+	addr       string
+	maxConc    int
+	reqTimeout time.Duration
+
+	out         string
+	baseline    string
+	maxRegress  float64
+	stamp       bool
+	rev         string
+	compareOnly bool
+}
+
+func parseFlags() *options {
+	var o options
+	flag.StringVar(&o.mode, "mode", "sim", "sim (deterministic virtual time) or real (wall clock)")
+	flag.StringVar(&o.driver, "driver", "both", "inprocess, http, or both")
+	flag.Int64Var(&o.seed, "seed", 11, "workload and service-model seed")
+	flag.Int64Var(&o.corpusSeed, "corpus-seed", 7, "corpus generation seed (ignored with -corpus)")
+	flag.Float64Var(&o.scale, "scale", 0.1, "corpus volume multiplier (ignored with -corpus)")
+	flag.StringVar(&o.corpusPath, "corpus", "", "load a saved corpus snapshot instead of generating")
+	flag.IntVar(&o.indexShards, "index-shards", 0, "index shards (0 = GOMAXPROCS)")
+
+	flag.IntVar(&o.concurrency, "concurrency", 8, "closed-loop worker count")
+	flag.Float64Var(&o.qps, "qps", 500, "open-loop target arrival rate")
+	flag.IntVar(&o.top, "top", 5, "experts requested per query")
+
+	flag.IntVar(&o.warmupReq, "warmup-requests", 120, "sim warmup phase size")
+	flag.IntVar(&o.rampReq, "ramp-requests", 120, "sim ramp phase size")
+	flag.IntVar(&o.steadyReq, "steady-requests", 600, "sim steady phase size")
+	flag.IntVar(&o.openReq, "open-requests", 300, "sim open-loop phase size")
+	flag.DurationVar(&o.warmupDur, "warmup", 2*time.Second, "real-mode warmup duration")
+	flag.DurationVar(&o.rampDur, "ramp", 2*time.Second, "real-mode ramp duration")
+	flag.DurationVar(&o.steadyDur, "steady", 10*time.Second, "real-mode steady duration")
+
+	flag.BoolVar(&o.chaos, "chaos", false, "append a chaos phase (4x concurrency + fault injection)")
+	flag.Float64Var(&o.chaosTransient, "chaos-transient", 0.1, "chaos injected transient-failure rate")
+	flag.Float64Var(&o.chaosRateLimit, "chaos-ratelimit", 0.05, "chaos injected rate-limit rate")
+	flag.DurationVar(&o.chaosLatency, "chaos-latency", 2*time.Millisecond, "chaos extra per-request latency")
+	flag.IntVar(&o.chaosReq, "chaos-requests", 240, "sim chaos phase size")
+	flag.DurationVar(&o.chaosDur, "chaos-duration", 3*time.Second, "real-mode chaos duration")
+
+	flag.StringVar(&o.addr, "addr", "", "drive an existing server at this base URL instead of self-hosting")
+	flag.IntVar(&o.maxConc, "max-concurrent", 64, "self-hosted server concurrency cap (small values force load shedding)")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 5*time.Second, "per-request deadline")
+
+	flag.StringVar(&o.out, "out", "BENCH_4.json", "report output path")
+	flag.StringVar(&o.baseline, "baseline", "", "baseline report to gate against")
+	flag.Float64Var(&o.maxRegress, "max-regress", 0.20, "allowed fractional p95/qps regression")
+	flag.BoolVar(&o.stamp, "stamp", true, "stamp the report with git rev and timestamp")
+	flag.StringVar(&o.rev, "rev", "", "override the git revision stamp")
+	flag.BoolVar(&o.compareOnly, "compare-only", false, "only compare -out against -baseline, run nothing")
+	flag.Parse()
+	return &o
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadtest: ")
+	o := parseFlags()
+
+	if o.compareOnly {
+		if o.baseline == "" {
+			log.Fatal("-compare-only requires -baseline")
+		}
+		os.Exit(gate(o.baseline, o.out, o.maxRegress))
+	}
+	if o.mode != "sim" && o.mode != "real" {
+		log.Fatalf("unknown -mode %q", o.mode)
+	}
+
+	sys := buildSystem(o)
+	rep := run(o, sys)
+	if err := rep.WriteFile(o.out); err != nil {
+		log.Fatalf("write %s: %v", o.out, err)
+	}
+	log.Printf("wrote %s", o.out)
+	printSummary(rep)
+
+	if o.baseline != "" {
+		if _, err := os.Stat(o.baseline); os.IsNotExist(err) {
+			log.Printf("baseline %s missing; skipping regression gate", o.baseline)
+			return
+		}
+		os.Exit(gate(o.baseline, o.out, o.maxRegress))
+	}
+}
+
+func buildSystem(o *options) *expertfind.System {
+	t0 := time.Now()
+	var (
+		sys *expertfind.System
+		err error
+	)
+	if o.corpusPath != "" {
+		sys, err = expertfind.NewSystemFromCorpusShards(o.corpusPath, o.indexShards)
+		if err != nil {
+			log.Fatalf("corpus: %v", err)
+		}
+	} else {
+		sys = expertfind.NewSystem(expertfind.Config{
+			Seed: o.corpusSeed, Scale: o.scale, IndexShards: o.indexShards,
+		})
+	}
+	st := sys.Stats()
+	log.Printf("corpus ready in %v: %d candidates, %d resources indexed",
+		time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed)
+	return sys
+}
+
+func run(o *options, sys *expertfind.System) *loadgen.Report {
+	st := sys.Stats()
+	rep := &loadgen.Report{
+		Schema: loadgen.Schema,
+		Bench:  4,
+		Mode:   o.mode,
+		Seed:   o.seed,
+		Corpus: loadgen.CorpusInfo{
+			Seed: o.corpusSeed, Scale: o.scale,
+			Candidates: st.Candidates, Documents: st.Indexed,
+		},
+	}
+	if o.stamp {
+		rep.GitRev = gitRev(o.rev)
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	workload := loadgen.NewWorkload(loadgen.WorkloadConfig{Seed: o.seed}, loadgen.SystemSource(sys))
+
+	for _, driver := range drivers(o.driver) {
+		target, handler, cleanup := makeTarget(o, sys, driver)
+		runner := newRunner(o, workload, target)
+		phases := phasePlan(o)
+		log.Printf("driver %s: %d phases", driver, len(phases))
+		results := runner.Run(phases...)
+		if o.chaos && handler != nil {
+			// Rolling corpus swap: flip the self-hosted server to
+			// not-ready mid-run, so its real shedding middleware
+			// rejects the phase's requests with 503 + Retry-After —
+			// genuine load-shed errors for the taxonomy.
+			handler.SetSystem(nil)
+			results = append(results, runner.Run(outagePhase(o))...)
+			handler.SetSystem(sys)
+		}
+		rep.Drivers = append(rep.Drivers, loadgen.DriverReport{Driver: driver, Phases: results})
+		cleanup()
+	}
+	return rep
+}
+
+// outagePhase drives steady-level load into the not-ready server.
+func outagePhase(o *options) loadgen.Phase {
+	p := loadgen.Phase{Name: "chaos-outage", Concurrency: o.concurrency, Chaos: true}
+	if o.mode == "sim" {
+		p.Requests = o.chaosReq / 2
+	} else {
+		p.Duration = o.chaosDur / 2
+	}
+	return p
+}
+
+func drivers(spec string) []string {
+	switch spec {
+	case "inprocess", "http":
+		return []string{spec}
+	case "both":
+		return []string{"inprocess", "http"}
+	}
+	log.Fatalf("unknown -driver %q", spec)
+	return nil
+}
+
+// newRunner gives each driver its own runner, clock, and chaos gate,
+// all from the same seed: both drivers replay the same request stream
+// and the same fault draws, so their reports are directly comparable.
+func newRunner(o *options, w *loadgen.Workload, target loadgen.Target) *loadgen.Runner {
+	cfg := loadgen.Config{
+		Workload: w,
+		Target:   target,
+		Timeout:  o.reqTimeout,
+	}
+	if o.mode == "sim" {
+		cfg.Clock = resilience.NewClock()
+		cfg.Model = loadgen.DefaultSimModel(o.seed)
+	} else {
+		cfg.Clock = resilience.RealClock()
+	}
+	if o.chaos {
+		cfg.Chaos = loadgen.NewChaosGate(loadgen.ChaosConfig{
+			Seed:          o.seed,
+			TransientRate: o.chaosTransient,
+			RateLimitRate: o.chaosRateLimit,
+			Latency:       o.chaosLatency,
+		}, cfg.Clock)
+	}
+	return loadgen.NewRunner(cfg)
+}
+
+// phasePlan is warmup -> ramp -> steady -> open-loop steady, plus the
+// optional chaos spike. Sim phases are count-bounded (deterministic);
+// real phases are duration-bounded.
+func phasePlan(o *options) []loadgen.Phase {
+	half := o.concurrency / 2
+	if half < 1 {
+		half = 1
+	}
+	var phases []loadgen.Phase
+	if o.mode == "sim" {
+		phases = []loadgen.Phase{
+			{Name: "warmup", Requests: o.warmupReq, Concurrency: half},
+			{Name: "ramp", Requests: o.rampReq, Concurrency: o.concurrency},
+			{Name: "steady", Requests: o.steadyReq, Concurrency: o.concurrency},
+			{Name: "open-steady", Requests: o.openReq, QPS: o.qps},
+		}
+		if o.chaos {
+			phases = append(phases, loadgen.Phase{
+				Name: "chaos", Requests: o.chaosReq,
+				Concurrency: 4 * o.concurrency, Chaos: true,
+			})
+		}
+	} else {
+		phases = []loadgen.Phase{
+			{Name: "warmup", Duration: o.warmupDur, Concurrency: half},
+			{Name: "ramp", Duration: o.rampDur, Concurrency: o.concurrency},
+			{Name: "steady", Duration: o.steadyDur, Concurrency: o.concurrency},
+			{Name: "open-steady", Duration: o.steadyDur, QPS: o.qps, MaxOutstanding: 4 * o.concurrency},
+		}
+		if o.chaos {
+			phases = append(phases, loadgen.Phase{
+				Name: "chaos", Duration: o.chaosDur,
+				Concurrency: 4 * o.concurrency, Chaos: true,
+			})
+		}
+	}
+	return phases
+}
+
+// makeTarget builds the driver's target; for "http" without -addr it
+// self-hosts the real serving stack on a loopback port, so the run
+// exercises the shedding/timeout middleware too. The returned handler
+// is non-nil only for the self-hosted server (chaos uses it to flip
+// readiness mid-run).
+func makeTarget(o *options, sys *expertfind.System, driver string) (loadgen.Target, *httpapi.Handler, func()) {
+	params := url.Values{"top": {strconv.Itoa(o.top)}}
+	switch driver {
+	case "inprocess":
+		return loadgen.NewFinderTarget(sys, o.top), nil, func() {}
+	case "http":
+		if o.addr != "" {
+			return loadgen.NewHTTPTarget(nil, o.addr, params), nil, func() {}
+		}
+		handler := httpapi.NewWithOptions(sys, httpapi.Options{
+			RequestTimeout: o.reqTimeout,
+			MaxConcurrent:  o.maxConc,
+			RetryAfter:     time.Second,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("self-host listen: %v", err)
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		base := "http://" + ln.Addr().String()
+		log.Printf("self-hosted server at %s (max-concurrent %d)", base, o.maxConc)
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+		return loadgen.NewHTTPTarget(client, base, params), handler, func() {
+			srv.Close()
+			client.CloseIdleConnections()
+		}
+	}
+	log.Fatalf("unknown driver %q", driver)
+	return nil, nil, nil
+}
+
+func gitRev(override string) string {
+	if override != "" {
+		return override
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// gate compares current against baseline and returns the exit code.
+func gate(basePath, curPath string, maxRegress float64) int {
+	base, err := loadgen.ReadReport(basePath)
+	if err != nil {
+		log.Printf("baseline: %v", err)
+		return 1
+	}
+	cur, err := loadgen.ReadReport(curPath)
+	if err != nil {
+		log.Printf("current: %v", err)
+		return 1
+	}
+	errs := loadgen.Compare(base, cur, maxRegress)
+	for _, e := range errs {
+		log.Printf("SLO GATE: %v", e)
+	}
+	if len(errs) > 0 {
+		return 1
+	}
+	log.Printf("SLO gate passed (steady p95 and qps within %.0f%% of %s)", maxRegress*100, basePath)
+	return 0
+}
+
+func printSummary(rep *loadgen.Report) {
+	for _, d := range rep.Drivers {
+		for _, p := range d.Phases {
+			errs := ""
+			if n := p.ErrorCount(); n > 0 {
+				errs = fmt.Sprintf("  errors=%v", p.Errors)
+			}
+			log.Printf("%-9s %-12s %6d req  %8.1f qps  p50=%s p95=%s p99=%s%s",
+				d.Driver, p.Name, p.Requests, p.QPS,
+				fmtSec(p.Latency.P50), fmtSec(p.Latency.P95), fmtSec(p.Latency.P99), errs)
+		}
+	}
+}
+
+func fmtSec(s float64) string {
+	return time.Duration(float64(time.Second) * s).Round(10 * time.Microsecond).String()
+}

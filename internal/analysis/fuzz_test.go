@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzAnalyzeNeed feeds arbitrary byte strings through the full need
+// analysis flow — language identification, text processing, entity
+// annotation — and checks the structural invariants every Analyzed
+// must satisfy. The seed corpus under testdata/fuzz covers realistic
+// queries, markup, URLs, mixed scripts, and invalid UTF-8.
+func FuzzAnalyzeNeed(f *testing.F) {
+	seeds := []string{
+		"",
+		" ",
+		"Which PHP function can I use in order to obtain the length of a string?",
+		"Can you list some restaurants in Milan?",
+		"php php php PHP pHp",
+		"<b>bold</b> &amp; <a href=\"http://example.com/x?y=1\">link</a>",
+		"check out http://example.com/page and https://other.example/path#frag",
+		"¿Dónde puedo encontrar un buen restaurante en Madrid?",
+		"九份有什麼好吃的小吃嗎",
+		"naïve café déjà-vu résumé",
+		"a\x00b\x01c",
+		"\xff\xfe invalid utf8 \x80\x81",
+		"    \t\n\r\n   ",
+		"!!!???...,,,;;;:::",
+		"🎸🎹 who plays keyboards in a rock band? 🥁",
+		"The THE the tHe ThE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	pipe := New(Options{})
+	f.Fuzz(func(t *testing.T, need string) {
+		a := pipe.AnalyzeNeed(need)
+
+		// Length is the sum of term frequencies, always.
+		sum := 0
+		for term, n := range a.Terms {
+			if term == "" {
+				t.Errorf("empty term in Terms map for %q", need)
+			}
+			if n <= 0 {
+				t.Errorf("term %q has non-positive frequency %d", term, n)
+			}
+			if !utf8.ValidString(term) {
+				t.Errorf("term %q is not valid UTF-8 (input %q)", term, need)
+			}
+			sum += n
+		}
+		if sum != a.Length {
+			t.Errorf("Length = %d, want Σtf = %d for %q", a.Length, sum, need)
+		}
+
+		for id, st := range a.Entities {
+			if st.Freq <= 0 {
+				t.Errorf("entity %v has non-positive frequency %d", id, st.Freq)
+			}
+			if st.DScore < 0 || st.DScore > 1 {
+				t.Errorf("entity %v dScore %v outside [0,1]", id, st.DScore)
+			}
+		}
+
+		// Analysis must be deterministic: the same need yields the
+		// same vectors.
+		b := pipe.AnalyzeNeed(need)
+		if b.Length != a.Length || len(b.Terms) != len(a.Terms) || len(b.Entities) != len(a.Entities) {
+			t.Errorf("AnalyzeNeed not deterministic for %q: (%d,%d,%d) vs (%d,%d,%d)",
+				need, a.Length, len(a.Terms), len(a.Entities), b.Length, len(b.Terms), len(b.Entities))
+		}
+	})
+}

@@ -168,11 +168,13 @@ type Stats struct {
 	Latency        time.Duration // total injected service time
 }
 
-// Injector implements API over a socialgraph.Graph, injecting the
-// configured faults. Fault draws are serialized, so call sequences
-// are deterministic for single-threaded callers like the crawler.
-type Injector struct {
-	g   *socialgraph.Graph
+// Gate is the graph-free injection core: it charges calls against a
+// seeded fault mix and decides their fate, nothing more. Injector
+// routes every platform call through one; other call paths (the load
+// harness's chaos mode, for instance) can gate arbitrary operations
+// through their own. All methods are safe for concurrent use; draws
+// are serialized, so single-threaded call sequences are deterministic.
+type Gate struct {
 	cfg Config
 
 	mu    sync.Mutex
@@ -181,61 +183,82 @@ type Injector struct {
 	stats Stats
 }
 
-// Wrap returns a fault-injecting API over g.
-func Wrap(g *socialgraph.Graph, cfg Config) *Injector {
+// NewGate returns a gate drawing from the configured fault mix.
+func NewGate(cfg Config) *Gate {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 50 * time.Millisecond
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = resilience.NewClock()
 	}
-	in := &Injector{
-		g:    g,
+	g := &Gate{
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
 		down: make(map[socialgraph.Network]bool, len(cfg.Outages)),
 	}
 	for _, net := range cfg.Outages {
-		in.down[net] = true
+		g.down[net] = true
 	}
-	return in
+	return g
+}
+
+// Stats returns a snapshot of the gate's counters.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Call charges one call against net and decides its fate. A single
+// uniform draw selects the failure class, so each call consumes
+// exactly one random number regardless of the configuration. net is a
+// free-form label for callers outside the platform simulation — it
+// only has to match the Outages entries they configured.
+func (g *Gate) Call(net socialgraph.Network) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.Calls++
+	if g.cfg.Latency > 0 {
+		g.stats.Latency += g.cfg.Latency
+		g.cfg.Clock.Sleep(g.cfg.Latency)
+	}
+	if g.down[net] {
+		g.stats.OutageFailures++
+		return &APIError{Kind: Unavailable, Network: net}
+	}
+	if g.cfg.TransientRate <= 0 && g.cfg.RateLimitRate <= 0 {
+		return nil
+	}
+	draw := g.rng.Float64()
+	if draw < g.cfg.TransientRate {
+		g.stats.Transients++
+		return &APIError{Kind: Transient, Network: net}
+	}
+	if draw < g.cfg.TransientRate+g.cfg.RateLimitRate {
+		g.stats.RateLimits++
+		return &APIError{Kind: RateLimited, Network: net, Hint: g.cfg.RetryAfter}
+	}
+	return nil
+}
+
+// Injector implements API over a socialgraph.Graph, gating every
+// platform call through a Gate over the configured fault mix.
+type Injector struct {
+	g    *socialgraph.Graph
+	gate *Gate
+}
+
+// Wrap returns a fault-injecting API over g.
+func Wrap(g *socialgraph.Graph, cfg Config) *Injector {
+	return &Injector{g: g, gate: NewGate(cfg)}
 }
 
 // Stats returns a snapshot of the injector's counters.
-func (in *Injector) Stats() Stats {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.stats
-}
+func (in *Injector) Stats() Stats { return in.gate.Stats() }
 
-// call charges one API call against net and decides its fate. A
-// single uniform draw selects the failure class, so each call
-// consumes exactly one random number regardless of the configuration.
+// call charges one API call against net and decides its fate.
 func (in *Injector) call(net socialgraph.Network) error {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.stats.Calls++
-	if in.cfg.Latency > 0 {
-		in.stats.Latency += in.cfg.Latency
-		in.cfg.Clock.Sleep(in.cfg.Latency)
-	}
-	if in.down[net] {
-		in.stats.OutageFailures++
-		return &APIError{Kind: Unavailable, Network: net}
-	}
-	if in.cfg.TransientRate <= 0 && in.cfg.RateLimitRate <= 0 {
-		return nil
-	}
-	draw := in.rng.Float64()
-	if draw < in.cfg.TransientRate {
-		in.stats.Transients++
-		return &APIError{Kind: Transient, Network: net}
-	}
-	if draw < in.cfg.TransientRate+in.cfg.RateLimitRate {
-		in.stats.RateLimits++
-		return &APIError{Kind: RateLimited, Network: net, Hint: in.cfg.RetryAfter}
-	}
-	return nil
+	return in.gate.Call(net)
 }
 
 // Users implements API.

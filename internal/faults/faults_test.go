@@ -201,3 +201,63 @@ func TestFeedLimit(t *testing.T) {
 		t.Error("limit did not keep the most recent entries")
 	}
 }
+
+// TestGateStandalone exercises the graph-free injection core directly:
+// a Gate must draw the same fault sequence as an Injector with the
+// same seed, work without any graph, and honor outages for arbitrary
+// call labels.
+func TestGateStandalone(t *testing.T) {
+	cfg := Config{Seed: 9, TransientRate: 0.3, RateLimitRate: 0.2}
+	gate := NewGate(cfg)
+	g, u, _ := tinyGraph()
+	in := Wrap(g, cfg)
+
+	const label = socialgraph.Network("loadgen")
+	for i := 0; i < 200; i++ {
+		gerr := gate.Call(label)
+		_, ierr := in.FetchUser(u, socialgraph.Facebook)
+		if (gerr == nil) != (ierr == nil) {
+			t.Fatalf("call %d: gate err %v, injector err %v", i, gerr, ierr)
+		}
+		if gerr != nil {
+			var ge, ie *APIError
+			if !errors.As(gerr, &ge) || !errors.As(ierr, &ie) || ge.Kind != ie.Kind {
+				t.Fatalf("call %d: gate %v vs injector %v", i, gerr, ierr)
+			}
+			if ge.Network != label {
+				t.Fatalf("call %d: gate error network %q, want %q", i, ge.Network, label)
+			}
+		}
+	}
+	st := gate.Stats()
+	if st.Calls != 200 || st.Transients == 0 || st.RateLimits == 0 {
+		t.Fatalf("gate stats = %+v", st)
+	}
+}
+
+func TestGateOutageAndLatency(t *testing.T) {
+	clock := resilience.NewClock()
+	const label = socialgraph.Network("chaos")
+	gate := NewGate(Config{
+		Seed:    1,
+		Latency: 5 * time.Millisecond,
+		Outages: []socialgraph.Network{label},
+		Clock:   clock,
+	})
+	for i := 0; i < 4; i++ {
+		err := gate.Call(label)
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Kind != Unavailable {
+			t.Fatalf("call %d: err = %v, want Unavailable", i, err)
+		}
+	}
+	if err := gate.Call("other"); err != nil {
+		t.Fatalf("non-outage label failed: %v", err)
+	}
+	if got := clock.Elapsed(); got != 25*time.Millisecond {
+		t.Fatalf("clock elapsed = %v, want 25ms", got)
+	}
+	if st := gate.Stats(); st.OutageFailures != 4 || st.Latency != 25*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,104 @@
+package httpapi
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"expertfind"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with observed output")
+
+// goldenScript is the scripted query set: a deterministic walk across
+// the read API. Only success responses participate — error bodies
+// carry a per-request random request_id.
+func goldenScript() []string {
+	find := func(q string) string {
+		return "/v1/find?" + url.Values{"q": {q}, "top": {"3"}}.Encode()
+	}
+	return []string{
+		"/v1/stats",
+		"/v1/domains",
+		"/v1/queries",
+		"/v1/experts?domain=sport",
+		"/v1/experts?domain=computer-engineering",
+		find("Which PHP function can I use in order to obtain the length of a string?"),
+		find("Can you list some restaurants in Milan?"),
+		find("What should I consider when training for a marathon?"),
+		"/v1/bestnetwork?" + url.Values{"q": {"Which camera lens is best for night photography?"}, "top": {"3"}}.Encode(),
+	}
+}
+
+// TestE2EGolden serves a small seeded corpus through the full HTTP
+// stack, replays the scripted query set, and byte-compares the
+// concatenated responses against the checked-in golden file. Run with
+// -update after an intentional output change:
+//
+//	go test ./internal/httpapi -run TestE2EGolden -update
+func TestE2EGolden(t *testing.T) {
+	// IndexShards pinned to 1: the default tracks GOMAXPROCS, and the
+	// golden transcript must not depend on the machine.
+	sys := expertfind.NewSystem(expertfind.Config{
+		Seed: 7, Candidates: 12, Scale: 0.05, IndexShards: 1,
+	})
+	srv := httptest.NewServer(New(sys))
+	defer srv.Close()
+
+	var got bytes.Buffer
+	for _, path := range goldenScript() {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		fmt.Fprintf(&got, "== GET %s\n%s", path, body)
+	}
+
+	golden := filepath.Join("testdata", "e2e.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, got.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("API output diverged from %s (rerun with -update if intentional)\ngot  %d bytes\nwant %d bytes\nfirst divergence at byte %d",
+			golden, got.Len(), len(want), firstDiff(got.Bytes(), want))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"expertfind/internal/faults"
+	"expertfind/internal/resilience"
+)
+
+// ChaosConfig parameterizes mid-run fault injection: chaos phases
+// flip the internal/faults gate on, so a fraction of requests fail
+// before reaching the target and every gated call pays extra latency.
+type ChaosConfig struct {
+	// Seed fixes the fault draw sequence.
+	Seed int64
+	// TransientRate is the per-request probability of an injected
+	// transient failure.
+	TransientRate float64
+	// RateLimitRate is the per-request probability of an injected
+	// rate-limit rejection.
+	RateLimitRate float64
+	// Latency is extra per-request service time charged to the clock.
+	Latency time.Duration
+}
+
+// NewChaosGate builds the fault gate chaos phases draw from. clock
+// receives the injected latency — pass the runner's clock so virtual
+// runs account for it.
+func NewChaosGate(cfg ChaosConfig, clock *resilience.Clock) *faults.Gate {
+	return faults.NewGate(faults.Config{
+		Seed:          cfg.Seed,
+		TransientRate: cfg.TransientRate,
+		RateLimitRate: cfg.RateLimitRate,
+		Latency:       cfg.Latency,
+		Clock:         clock,
+	})
+}
+
+// DefaultSimModel returns the service-time model simulation mode
+// uses: a fixed floor plus a per-byte cost, scaled by log-normal
+// noise — a pure function of (seed, seq, response size), so equal
+// seeds reproduce identical latency streams. Failed requests (zero
+// bytes) cost the floor only, mirroring cheap early rejection.
+func DefaultSimModel(seed int64) ServiceModel {
+	return func(seq uint64, res Result) time.Duration {
+		rng := rand.New(rand.NewSource(int64(mix(seq ^ uint64(seed)*0x6a09e667f3bcc909))))
+		base := 500*time.Microsecond + time.Duration(res.Bytes)*2*time.Microsecond
+		// Log-normal multiplicative noise, σ = 0.3.
+		noise := 1.0
+		for i := 0; i < 4; i++ {
+			noise *= 1 + 0.3*(rng.Float64()-0.5)
+		}
+		return time.Duration(float64(base) * noise)
+	}
+}

@@ -1,0 +1,226 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"expertfind/internal/resilience"
+)
+
+// echoTarget is a deterministic in-memory target whose response size
+// depends only on the need, with scripted failure needs.
+func echoTarget() Target {
+	return TargetFunc(func(ctx context.Context, need string) Result {
+		return Result{Class: ClassOK, Bytes: len(need)}
+	})
+}
+
+func simRunner(seed int64, chaos ChaosConfig) *Runner {
+	clock := resilience.NewClock()
+	w := NewWorkload(WorkloadConfig{Seed: seed}, testSource())
+	return NewRunner(Config{
+		Clock:    clock,
+		Workload: w,
+		Target:   echoTarget(),
+		Model:    DefaultSimModel(seed),
+		Chaos:    NewChaosGate(chaos, clock),
+	})
+}
+
+// simPhases is the CLI's sim shape in miniature.
+func simPhases() []Phase {
+	return []Phase{
+		{Name: "warmup", Requests: 40, Concurrency: 4},
+		{Name: "ramp", Requests: 40, Concurrency: 8},
+		{Name: "steady", Requests: 200, Concurrency: 8},
+		{Name: "open-steady", Requests: 100, QPS: 500},
+	}
+}
+
+func runSim(seed int64) []byte {
+	r := simRunner(seed, ChaosConfig{Seed: seed})
+	rep := &Report{
+		Schema: Schema, Bench: 4, Mode: "sim", Seed: seed,
+		Corpus:  CorpusInfo{Seed: 7, Scale: 0.1},
+		Drivers: []DriverReport{{Driver: "inprocess", Phases: r.Run(simPhases()...)}},
+	}
+	b, err := rep.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// The acceptance criterion: same seed, same report bytes — despite 8
+// racing workers per closed-loop phase.
+func TestSimDeterministicAcrossRuns(t *testing.T) {
+	a, b := runSim(11), runSim(11)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed sim reports differ:\n%s\n----\n%s", a, b)
+	}
+	if c := runSim(12); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestSimPhaseResults(t *testing.T) {
+	r := simRunner(3, ChaosConfig{})
+	results := r.Run(simPhases()...)
+	if len(results) != 4 {
+		t.Fatalf("phases = %d", len(results))
+	}
+	for _, pr := range results {
+		if pr.Requests == 0 || pr.QPS <= 0 || pr.DurationSeconds <= 0 {
+			t.Errorf("phase %s: empty result %+v", pr.Name, pr)
+		}
+		if pr.Latency.P50 <= 0 || pr.Latency.P95 < pr.Latency.P50 || pr.Latency.P999 < pr.Latency.P99 {
+			t.Errorf("phase %s: non-monotone percentiles %+v", pr.Name, pr.Latency)
+		}
+		if n := pr.ErrorCount(); n != 0 {
+			t.Errorf("phase %s: unexpected errors %v", pr.Name, pr.Errors)
+		}
+	}
+	if results[2].Name != "steady" || results[2].Mode != "closed" || results[2].Concurrency != 8 {
+		t.Errorf("steady phase metadata: %+v", results[2])
+	}
+	if results[3].Mode != "open" || results[3].TargetQPS != 500 {
+		t.Errorf("open phase metadata: %+v", results[3])
+	}
+	// Open-loop sim duration is the scheduled span: 100 req @ 500 qps.
+	if got := results[3].DurationSeconds; got < 0.19 || got > 0.21 {
+		t.Errorf("open-loop duration = %v, want 0.2", got)
+	}
+}
+
+// Phases share one sequence space: a run split 40+60 issues the same
+// needs as a run of one 100-request phase.
+func TestPhasesShareSequenceSpace(t *testing.T) {
+	w := NewWorkload(WorkloadConfig{Seed: 5}, testSource())
+	var mu sync.Mutex
+	seen := []string{}
+	collect := TargetFunc(func(ctx context.Context, need string) Result {
+		mu.Lock()
+		seen = append(seen, need)
+		mu.Unlock()
+		return Result{Class: ClassOK, Bytes: 1}
+	})
+	mk := func() *Runner {
+		return NewRunner(Config{Clock: resilience.NewClock(), Workload: w, Target: collect, Model: func(uint64, Result) time.Duration { return time.Millisecond }})
+	}
+	mk().Run(Phase{Name: "a", Requests: 40}, Phase{Name: "b", Requests: 60})
+	split := append([]string(nil), seen...)
+	seen = seen[:0]
+	mk().Run(Phase{Name: "all", Requests: 100})
+	if len(split) != 100 || len(seen) != 100 {
+		t.Fatalf("request counts: split %d, whole %d", len(split), len(seen))
+	}
+	for i := range seen {
+		if split[i] != seen[i] {
+			t.Fatalf("seq %d: %q vs %q", i, split[i], seen[i])
+		}
+	}
+}
+
+func TestChaosPhaseInjectsAndCounts(t *testing.T) {
+	r := simRunner(21, ChaosConfig{Seed: 21, TransientRate: 0.3, Latency: time.Millisecond})
+	results := r.Run(
+		Phase{Name: "calm", Requests: 100, Concurrency: 4},
+		Phase{Name: "chaos", Requests: 200, Concurrency: 4, Chaos: true},
+	)
+	if n := results[0].ErrorCount(); n != 0 {
+		t.Errorf("calm phase errors = %v", results[0].Errors)
+	}
+	injected := results[1].Errors[string(ClassInjected)]
+	if injected < 30 || injected > 90 {
+		t.Errorf("injected = %d of 200, want ~60 at rate 0.3", injected)
+	}
+	// Injected faults still count as completed requests.
+	if results[1].Requests != 200 {
+		t.Errorf("chaos requests = %d, want 200", results[1].Requests)
+	}
+}
+
+func TestClosedLoopTimeBoundVirtual(t *testing.T) {
+	clock := resilience.NewClock()
+	w := NewWorkload(WorkloadConfig{Seed: 2}, testSource())
+	r := NewRunner(Config{
+		Clock: clock, Workload: w, Target: echoTarget(),
+		Model: func(uint64, Result) time.Duration { return 10 * time.Millisecond },
+	})
+	res := r.Run(Phase{Name: "soak", Duration: time.Second, Concurrency: 2})[0]
+	// 1 virtual second of 10ms requests across 2 workers: the clock
+	// accumulates every sleep, so ~100 requests total fit the budget.
+	if res.Requests < 90 || res.Requests > 110 {
+		t.Errorf("time-bound virtual phase ran %d requests, want ~100", res.Requests)
+	}
+	if res.QPS <= 0 {
+		t.Errorf("qps = %v", res.QPS)
+	}
+}
+
+// Open loop in real time must measure from the scheduled arrival:
+// with a serialized 20ms server behind a 10ms arrival grid, queueing
+// delay compounds and late requests record far more than 20ms.
+func TestOpenLoopCoordinatedOmissionSafe(t *testing.T) {
+	var mu sync.Mutex // serializes the "server"
+	slow := TargetFunc(func(ctx context.Context, need string) Result {
+		mu.Lock()
+		defer mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		return Result{Class: ClassOK, Bytes: 1}
+	})
+	w := NewWorkload(WorkloadConfig{Seed: 3}, testSource())
+	r := NewRunner(Config{Workload: w, Target: slow})
+	res := r.Run(Phase{Name: "open", Requests: 15, QPS: 100})[0]
+	if res.Requests != 15 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// Service time alone is 20ms; the p95 arrival waited behind ~13
+	// queued requests, so CO-safe measurement must show >100ms.
+	if res.Latency.P95 < 0.1 {
+		t.Errorf("p95 = %vs: coordinated omission suspected (service time 0.02s, queue ~14 deep)", res.Latency.P95)
+	}
+	// And p50 must also exceed a single service time.
+	if res.Latency.P50 <= 0.02 {
+		t.Errorf("p50 = %vs, want > single service time", res.Latency.P50)
+	}
+}
+
+func TestOpenLoopMaxOutstanding(t *testing.T) {
+	var inflight, peak atomic.Int64
+	tr := TargetFunc(func(ctx context.Context, need string) Result {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inflight.Add(-1)
+		return Result{Class: ClassOK}
+	})
+	w := NewWorkload(WorkloadConfig{Seed: 4}, testSource())
+	r := NewRunner(Config{Workload: w, Target: tr})
+	r.Run(Phase{Name: "open", Requests: 40, QPS: 2000, MaxOutstanding: 3})
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak in-flight = %d, want <= 3", p)
+	}
+}
+
+func TestRunnerTimeoutApplied(t *testing.T) {
+	blocker := TargetFunc(func(ctx context.Context, need string) Result {
+		<-ctx.Done()
+		return Result{Class: ClassTimeout, Err: ctx.Err()}
+	})
+	w := NewWorkload(WorkloadConfig{Seed: 6}, testSource())
+	r := NewRunner(Config{Workload: w, Target: blocker, Timeout: 10 * time.Millisecond})
+	res := r.Run(Phase{Name: "t", Requests: 3})[0]
+	if got := res.Errors[string(ClassTimeout)]; got != 3 {
+		t.Errorf("timeouts = %d, want 3 (errors %v)", got, res.Errors)
+	}
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifies the BENCH report format; bump on breaking layout
+// changes so CI comparisons fail loudly instead of misreading fields.
+const Schema = "expertfind/bench/v1"
+
+// Percentiles are latency quantiles in seconds.
+type Percentiles struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+// PhaseResult is one phase's aggregate outcome.
+type PhaseResult struct {
+	Name string `json:"name"`
+	// Mode is "closed" (fixed concurrency) or "open" (target QPS).
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	Chaos       bool    `json:"chaos,omitempty"`
+	Requests    uint64  `json:"requests"`
+	// Errors maps taxonomy classes (shed, timeout, 4xx, 5xx,
+	// transport, injected) to counts; successes are Requests minus the
+	// sum. Only nonzero classes appear.
+	Errors          map[string]uint64 `json:"errors,omitempty"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	QPS             float64           `json:"qps"`
+	Latency         Percentiles       `json:"latency_seconds"`
+}
+
+// ErrorCount sums the phase's failures across all classes.
+func (p PhaseResult) ErrorCount() uint64 {
+	var n uint64
+	for _, v := range p.Errors {
+		n += v
+	}
+	return n
+}
+
+// CorpusInfo pins the corpus configuration a run measured, so CI
+// never diffs runs over different data.
+type CorpusInfo struct {
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Candidates int     `json:"candidates,omitempty"`
+	Documents  int     `json:"documents,omitempty"`
+}
+
+// DriverReport is one driver's phase results.
+type DriverReport struct {
+	// Driver is "inprocess" (core.Finder) or "http" (/v1/find).
+	Driver string        `json:"driver"`
+	Phases []PhaseResult `json:"phases"`
+}
+
+// Phase returns the named phase, or nil.
+func (d *DriverReport) Phase(name string) *PhaseResult {
+	for i := range d.Phases {
+		if d.Phases[i].Name == name {
+			return &d.Phases[i]
+		}
+	}
+	return nil
+}
+
+// Report is the machine-readable BENCH_4.json payload. With Mode
+// "sim", everything except the stamp fields (GitRev, GeneratedAt) is
+// byte-identical across runs with the same seed; CI strips the stamps
+// and diffs the rest.
+type Report struct {
+	Schema string `json:"schema"`
+	Bench  int    `json:"bench"`
+	// GitRev and GeneratedAt are provenance stamps, excluded from
+	// determinism comparisons; the harness omits them with -stamp=false.
+	GitRev      string         `json:"git_rev,omitempty"`
+	GeneratedAt string         `json:"generated_at,omitempty"`
+	Mode        string         `json:"mode"` // "sim" or "real"
+	Seed        int64          `json:"seed"`
+	Corpus      CorpusInfo     `json:"corpus"`
+	Drivers     []DriverReport `json:"drivers"`
+}
+
+// Driver returns the named driver's report, or nil.
+func (r *Report) Driver(name string) *DriverReport {
+	for i := range r.Drivers {
+		if r.Drivers[i].Driver == name {
+			return &r.Drivers[i]
+		}
+	}
+	return nil
+}
+
+// Stripped returns a copy with the provenance stamps cleared — the
+// canonical form for determinism diffs.
+func (r Report) Stripped() Report {
+	r.GitRev = ""
+	r.GeneratedAt = ""
+	return r
+}
+
+// Marshal renders the report as stable, indented JSON (struct field
+// order is fixed; the error maps marshal with sorted keys).
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadReport loads and validates a BENCH report.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("loadgen: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// GatePhase is the phase the SLO regression gate inspects.
+const GatePhase = "steady"
+
+// Compare gates cur against base: for every driver present in both,
+// the steady-phase p95 may not regress by more than maxRegress
+// (fractional, e.g. 0.20) and throughput may not drop by more than
+// the same fraction. It returns all violations, not just the first,
+// so one CI run surfaces the full picture.
+func Compare(base, cur *Report, maxRegress float64) []error {
+	if maxRegress <= 0 {
+		maxRegress = 0.20
+	}
+	var errs []error
+	if base.Corpus != cur.Corpus {
+		errs = append(errs, fmt.Errorf("corpus mismatch: baseline %+v vs current %+v (not comparable)", base.Corpus, cur.Corpus))
+		return errs
+	}
+	for i := range base.Drivers {
+		bd := &base.Drivers[i]
+		cd := cur.Driver(bd.Driver)
+		if cd == nil {
+			errs = append(errs, fmt.Errorf("driver %q present in baseline but missing from current run", bd.Driver))
+			continue
+		}
+		bp, cp := bd.Phase(GatePhase), cd.Phase(GatePhase)
+		if bp == nil || cp == nil {
+			continue
+		}
+		if bp.Latency.P95 > 0 {
+			ratio := cp.Latency.P95 / bp.Latency.P95
+			if ratio > 1+maxRegress {
+				errs = append(errs, fmt.Errorf(
+					"driver %s: steady p95 regressed %.1f%% (%.6fs -> %.6fs, limit %.0f%%)",
+					bd.Driver, (ratio-1)*100, bp.Latency.P95, cp.Latency.P95, maxRegress*100))
+			}
+		}
+		if bp.QPS > 0 {
+			ratio := cp.QPS / bp.QPS
+			if ratio < 1-maxRegress {
+				errs = append(errs, fmt.Errorf(
+					"driver %s: steady throughput dropped %.1f%% (%.1f -> %.1f qps, limit %.0f%%)",
+					bd.Driver, (1-ratio)*100, bp.QPS, cp.QPS, maxRegress*100))
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"expertfind"
+	"expertfind/internal/httpapi"
+)
+
+// sharedSystem builds one small corpus for all target tests; building
+// a System is the expensive part.
+var (
+	sysOnce sync.Once
+	sysVal  *expertfind.System
+)
+
+func testSystem(t *testing.T) *expertfind.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysVal = expertfind.NewSystem(expertfind.Config{Seed: 7, Scale: 0.1})
+	})
+	return sysVal
+}
+
+func TestFinderTarget(t *testing.T) {
+	sys := testSystem(t)
+	target := NewFinderTarget(sys, 5)
+	res := target.Do(context.Background(), "Who knows about running marathons and trail races?")
+	if res.Class != ClassOK {
+		t.Fatalf("class = %s (err %v), want ok", res.Class, res.Err)
+	}
+	if res.Bytes <= 2 {
+		t.Errorf("bytes = %d, want a serialized expert list", res.Bytes)
+	}
+
+	// A canceled context classifies as timeout, not server error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res = target.Do(ctx, "anything at all")
+	if res.Class != ClassTimeout {
+		t.Errorf("canceled ctx class = %s, want timeout", res.Class)
+	}
+}
+
+func TestClassifyHTTP(t *testing.T) {
+	cases := []struct {
+		status int
+		body   string
+		want   Class
+	}{
+		{200, `{"experts":[]}`, ClassOK},
+		{503, `{"error":"server overloaded","request_id":"x"}`, ClassShed},
+		{503, `{"error":"corpus not ready","request_id":"x"}`, ClassShed},
+		{503, `{"error":"request timed out","request_id":"x"}`, ClassTimeout},
+		{504, `gateway timeout`, ClassTimeout},
+		{500, `{"error":"boom"}`, Class5xx},
+		{400, `{"error":"missing required parameter: q"}`, Class4xx},
+		{404, `{"error":"not found"}`, Class4xx},
+	}
+	for _, tc := range cases {
+		if got := classifyHTTP(tc.status, []byte(tc.body)); got != tc.want {
+			t.Errorf("classifyHTTP(%d, %q) = %s, want %s", tc.status, tc.body, got, tc.want)
+		}
+	}
+}
+
+func TestHTTPTargetClassification(t *testing.T) {
+	// A scripted server: the response depends on the need, so one
+	// target exercises the whole taxonomy.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("q") {
+		case "shed":
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"server overloaded"}`, http.StatusServiceUnavailable)
+		case "slow":
+			time.Sleep(200 * time.Millisecond)
+			w.Write([]byte(`{}`))
+		case "bad":
+			http.Error(w, `{"error":"bad"}`, http.StatusBadRequest)
+		case "boom":
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+		default:
+			w.Write([]byte(`{"experts":["a","b"]}`))
+		}
+	}))
+	defer srv.Close()
+
+	target := NewHTTPTarget(srv.Client(), srv.URL+"/", url.Values{"top": {"5"}})
+	ctx := context.Background()
+
+	if res := target.Do(ctx, "ok"); res.Class != ClassOK || res.Bytes == 0 {
+		t.Errorf("ok: %+v", res)
+	}
+	if res := target.Do(ctx, "shed"); res.Class != ClassShed {
+		t.Errorf("shed: %+v", res)
+	}
+	if res := target.Do(ctx, "bad"); res.Class != Class4xx {
+		t.Errorf("bad: %+v", res)
+	}
+	if res := target.Do(ctx, "boom"); res.Class != Class5xx {
+		t.Errorf("boom: %+v", res)
+	}
+
+	// Client-side deadline -> timeout.
+	tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if res := target.Do(tctx, "slow"); res.Class != ClassTimeout {
+		t.Errorf("slow: %+v", res)
+	}
+
+	// Dead server -> transport.
+	srv.Close()
+	if res := target.Do(ctx, "ok"); res.Class != ClassTransport {
+		t.Errorf("dead server: %+v", res)
+	}
+}
+
+func TestHTTPTargetAgainstRealAPI(t *testing.T) {
+	// End to end against the actual serving stack, parameters intact.
+	sys := testSystem(t)
+	srv := httptest.NewServer(httpapi.New(sys))
+	defer srv.Close()
+
+	target := NewHTTPTarget(srv.Client(), srv.URL, url.Values{"top": {"3"}})
+	res := target.Do(context.Background(), "Who can give advice about photography gear?")
+	if res.Class != ClassOK {
+		t.Fatalf("class = %s (err %v), want ok", res.Class, res.Err)
+	}
+	if res.Bytes == 0 {
+		t.Error("empty response body")
+	}
+}

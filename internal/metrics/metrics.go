@@ -271,7 +271,10 @@ func ranks(xs []float64) []float64 {
 }
 
 // PearsonCorrelation returns the correlation coefficient of x and y,
-// or 0 when either has no variance.
+// or 0 when either has no variance. Non-finite inputs (NaN, ±Inf)
+// have no meaningful correlation and also yield 0 — without the
+// guard, a single NaN would slip past the zero-variance check (NaN
+// compares false against 0) and poison the result.
 func PearsonCorrelation(x, y []float64) float64 {
 	n := len(x)
 	if n == 0 || n != len(y) {
@@ -285,7 +288,8 @@ func PearsonCorrelation(x, y []float64) float64 {
 		syy += dy * dy
 		sxy += dx * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx == 0 || syy == 0 || math.IsNaN(sxx) || math.IsNaN(syy) ||
+		math.IsInf(sxx, 0) || math.IsInf(syy, 0) {
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)

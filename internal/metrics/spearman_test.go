@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpearmanCorrelationTable(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{name: "empty", x: nil, y: nil, want: 0},
+		{name: "single element", x: []float64{3}, y: []float64{7}, want: 0},
+		{name: "mismatched lengths", x: []float64{1, 2}, y: []float64{1}, want: 0},
+		{name: "perfect agreement", x: []float64{1, 2, 3, 4}, y: []float64{10, 20, 30, 40}, want: 1},
+		{name: "reversed ranking", x: []float64{1, 2, 3, 4}, y: []float64{4, 3, 2, 1}, want: -1},
+		{name: "monotone nonlinear", x: []float64{1, 2, 3, 4}, y: []float64{1, 8, 27, 64}, want: 1},
+		{
+			// Midranks: x ranks are {1.5, 1.5, 3.5, 3.5}, giving
+			// ρ = 4/√20 against the untied y.
+			name: "ties in x", x: []float64{1, 1, 2, 2}, y: []float64{1, 2, 3, 4},
+			want: 4 / math.Sqrt(20),
+		},
+		{name: "ties in both", x: []float64{1, 1, 2, 2}, y: []float64{5, 5, 9, 9}, want: 1},
+		{name: "constant x (no rank variance)", x: []float64{2, 2, 2}, y: []float64{1, 2, 3}, want: 0},
+		{name: "constant both", x: []float64{2, 2, 2}, y: []float64{7, 7, 7}, want: 0},
+		{name: "two elements agree", x: []float64{1, 2}, y: []float64{5, 6}, want: 1},
+		{name: "two elements disagree", x: []float64{1, 2}, y: []float64{6, 5}, want: -1},
+		{
+			// ±Inf are ordinary extremes under ranking.
+			name: "infinities rank like extremes",
+			x:    []float64{math.Inf(-1), 0, inf}, y: []float64{1, 2, 3},
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SpearmanCorrelation(tc.x, tc.y)
+			if math.IsNaN(got) {
+				t.Fatalf("SpearmanCorrelation(%v, %v) = NaN", tc.x, tc.y)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("SpearmanCorrelation(%v, %v) = %v, want %v", tc.x, tc.y, got, tc.want)
+			}
+		})
+	}
+}
+
+// Spearman ranks NaN inputs deterministically enough to stay finite
+// and bounded; the exact value is unspecified but must never be NaN.
+func TestSpearmanCorrelationNaNInputStaysFinite(t *testing.T) {
+	x := []float64{1, math.NaN(), 3, 4}
+	y := []float64{4, 3, math.NaN(), 1}
+	got := SpearmanCorrelation(x, y)
+	if math.IsNaN(got) || got < -1 || got > 1 {
+		t.Fatalf("SpearmanCorrelation with NaN input = %v, want finite in [-1,1]", got)
+	}
+}
+
+// Direct Pearson on non-finite inputs used to return NaN: the NaN
+// moments slipped past the zero-variance check because NaN compares
+// false against 0.
+func TestPearsonCorrelationNonFiniteInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{name: "NaN in x", x: []float64{1, math.NaN(), 3}, y: []float64{1, 2, 3}},
+		{name: "NaN in y", x: []float64{1, 2, 3}, y: []float64{math.NaN(), 2, 3}},
+		{name: "Inf in x", x: []float64{1, math.Inf(1), 3}, y: []float64{1, 2, 3}},
+		{name: "-Inf in y", x: []float64{1, 2, 3}, y: []float64{1, math.Inf(-1), 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := PearsonCorrelation(tc.x, tc.y); got != 0 {
+				t.Errorf("PearsonCorrelation(%v, %v) = %v, want 0", tc.x, tc.y, got)
+			}
+		})
+	}
+}
+
+func TestRanksMidranks(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}

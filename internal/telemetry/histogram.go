@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -96,3 +97,64 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observations so far.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram, suitable
+// for quantile estimation outside a registry scrape.
+func (h *Histogram) Snapshot() *HistogramData { return h.snapshot() }
+
+// LogBuckets returns perDecade log-spaced bucket bounds per decade
+// from min up to and including the first bound >= max — the natural
+// bucket layout for latency, where relative (not absolute) resolution
+// matters across four or five orders of magnitude. min must be
+// positive and max > min; perDecade < 1 selects 10.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min {
+		panic("telemetry: LogBuckets requires 0 < min < max")
+	}
+	if perDecade < 1 {
+		perDecade = 10
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		b := min * math.Pow(10, float64(i)/float64(perDecade))
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly within
+// the bucket holding the target rank (the same estimator Prometheus's
+// histogram_quantile uses). The first bucket interpolates from 0; a
+// rank landing in the +Inf overflow bucket reports the largest finite
+// bound. An empty histogram reports 0.
+func (d *HistogramData) Quantile(q float64) float64 {
+	if d.Count == 0 || len(d.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.Count)
+	cum := uint64(0)
+	for i, ub := range d.Buckets {
+		prev := cum
+		cum += d.Counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = d.Buckets[i-1]
+			}
+			if d.Counts[i] == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(prev))/float64(d.Counts[i])
+		}
+	}
+	return d.Buckets[len(d.Buckets)-1]
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 1, 3)
+	if b[0] != 0.001 {
+		t.Fatalf("first bound = %v, want 0.001", b[0])
+	}
+	if last := b[len(b)-1]; last < 1 {
+		t.Fatalf("last bound = %v, want >= 1", last)
+	}
+	for i := 1; i < len(b); i++ {
+		ratio := b[i] / b[i-1]
+		want := math.Pow(10, 1.0/3)
+		if math.Abs(ratio-want) > 1e-9 {
+			t.Fatalf("bucket ratio %v at %d, want %v", ratio, i, want)
+		}
+	}
+	// 3 per decade over 3 decades: 10 bounds (both endpoints included).
+	if len(b) != 10 {
+		t.Fatalf("len = %d, want 10", len(b))
+	}
+}
+
+func TestLogBucketsDefaultsAndPanics(t *testing.T) {
+	if n := len(LogBuckets(0.001, 0.01, 0)); n != 11 {
+		t.Errorf("perDecade<1 should select 10/decade, got %d bounds", n)
+	}
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogBuckets(%v, %v, 1) did not panic", bad[0], bad[1])
+				}
+			}()
+			LogBuckets(bad[0], bad[1], 1)
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+	// 10 observations uniformly in (0,1]: every rank interpolates
+	// inside the first bucket.
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	d := h.Snapshot()
+	if got := d.Quantile(0.5); got != 0.5 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := d.Quantile(1); got != 1.0 {
+		t.Errorf("p100 = %v, want 1.0", got)
+	}
+	if got := d.Quantile(0); got != 0.0 {
+		t.Errorf("p0 = %v, want 0", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q2", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	d := h.Snapshot()
+	// rank(0.5) = 2: halfway through the two counts of bucket (1,2].
+	if got := d.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	// rank(0.75) = 3: the end of bucket (1,2].
+	if got := d.Quantile(0.75); got != 2 {
+		t.Errorf("p75 = %v, want 2", got)
+	}
+	// rank(1) = 4: the end of the last finite bucket (2,4].
+	if got := d.Quantile(1); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+}
+
+func TestQuantileOverflowAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q3", "", []float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // +Inf overflow bucket
+	if got := h.Snapshot().Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want largest finite bound 2", got)
+	}
+	// Out-of-range q values clamp.
+	if got := h.Snapshot().Quantile(7); got != 2 {
+		t.Errorf("clamped quantile = %v, want 2", got)
+	}
+}
