@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos check clean
+.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos loadtest-cached docs-check check clean
 
 all: check
 
@@ -69,10 +69,28 @@ loadtest-smoke:
 loadtest-chaos:
 	$(GO) run ./cmd/loadtest -stamp=false -chaos -out BENCH_4.chaos.json
 
+# loadtest-cached appends the cached-steady phase (bench 5) and fails
+# unless the result cache makes the steady tail faster on every
+# driver. After an intentional change to cache or model costs,
+# regenerate the committed baseline:
+#   go run ./cmd/loadtest -stamp=false -cache-size 4096 -cache-ttl 5m -out BENCH_5.json
+loadtest-cached:
+	$(GO) run ./cmd/loadtest -stamp=false -cache-size 4096 -cache-ttl 5m \
+		-require-cache-speedup -out BENCH_5.run.json
+
+# docs-check enforces the documentation contract: every package
+# carries a package doc comment, and the metrics reference table in
+# OPERATIONS.md matches the telemetry registry (regenerate with
+# `go run ./cmd/metricsdoc -write OPERATIONS.md`).
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) run ./cmd/metricsdoc -check OPERATIONS.md
+
 # check is what CI runs: formatting, static analysis, build, the
 # race-enabled test suite (which subsumes the plain one), the bench
-# smoke, the load-test SLO gate, and the coverage floors.
-check: fmt vet build race bench-smoke loadtest-smoke cover-check
+# smoke, the load-test SLO and cache gates, the coverage floors, and
+# the documentation gates.
+check: fmt vet build race bench-smoke loadtest-smoke loadtest-cached cover-check docs-check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,95 @@
+// Command docscheck verifies that every package in the module carries
+// a package-level doc comment — the documentation contract the
+// docs-check CI step enforces. It walks the repository for directories
+// containing non-test Go files, parses package clauses only (fast; no
+// type checking), and reports packages whose clause has no attached
+// comment in any of their files.
+//
+// Usage:
+//
+//	docscheck [dir]
+//
+// dir defaults to the current directory. Exit status is nonzero when
+// any package lacks a doc comment, listing each offender with the file
+// a comment should go in (the package's doc.go when present, its first
+// file otherwise).
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	offenders, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, o := range offenders {
+		fmt.Println(o)
+	}
+	if len(offenders) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d package(s) lack a package doc comment\n", len(offenders))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all packages documented")
+}
+
+// check walks root and returns one line per undocumented package.
+func check(root string) ([]string, error) {
+	// dir -> files of the package (non-test Go files).
+	pkgs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgs[dir] = append(pkgs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var offenders []string
+	fset := token.NewFileSet()
+	for dir, files := range pkgs {
+		sort.Strings(files)
+		documented := false
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			offenders = append(offenders, fmt.Sprintf("%s: package has no doc comment (add one in %s)", dir, files[0]))
+		}
+	}
+	sort.Strings(offenders)
+	return offenders, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(dir, "good", "other.go"), "package good\n")
+	write(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n")
+	// A detached comment (blank line before the clause) is not a doc
+	// comment.
+	write(t, filepath.Join(dir, "detached", "a.go"), "// Some file header.\n\npackage detached\n")
+	// Test files and testdata never satisfy the requirement.
+	write(t, filepath.Join(dir, "bad", "bad_test.go"), "// Package bad tests.\npackage bad\n")
+	write(t, filepath.Join(dir, "good", "testdata", "ignore.go"), "package ignored\n")
+
+	offenders, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 2 {
+		t.Fatalf("offenders = %v, want bad and detached", offenders)
+	}
+	if !strings.Contains(offenders[0], "bad") || !strings.Contains(offenders[1], "detached") {
+		t.Fatalf("offenders = %v", offenders)
+	}
+
+	// The real repository must stay clean.
+	offenders, err = check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("repository packages lack doc comments: %v", offenders)
+	}
+}

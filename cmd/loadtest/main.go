@@ -9,6 +9,8 @@
 //	         [-concurrency N] [-qps F] [-top N]
 //	         [-warmup-requests N] [-ramp-requests N] [-steady-requests N]
 //	         [-open-requests N] [-warmup D] [-ramp D] [-steady D]
+//	         [-cache-size N] [-cache-ttl D] [-cached-requests N]
+//	         [-require-cache-speedup]
 //	         [-chaos] [-chaos-transient F] [-chaos-ratelimit F]
 //	         [-chaos-latency D] [-chaos-requests N] [-chaos-duration D]
 //	         [-addr URL] [-max-concurrent N] [-request-timeout D]
@@ -26,6 +28,19 @@
 // directly; "http" drives a live /v1/find — a self-hosted server on a
 // loopback port, or the server at -addr. "both" (default) runs the
 // two back to back over the same request stream.
+//
+// Caching. -cache-size > 0 appends a "cached-steady" phase: a
+// bounded LRU result cache (internal/rescache) is attached to the
+// system and the Zipf-skewed request stream continues against it, so
+// the report contrasts cached against uncached steady state — phase
+// results carry hit/miss/coalesced counts, and the report's bench
+// number becomes 5 (BENCH_5.json). In sim mode the cached phase runs
+// at concurrency 1 so the hit pattern is a pure function of the
+// request stream; the cache shares the run's virtual clock, making
+// TTL expiry simulated too. -require-cache-speedup exits nonzero
+// unless every driver's cached-steady p95 beats its steady p95.
+// Against a remote -addr server the attach is local and ineffective —
+// enable caching on the server instead (serve -cache-size).
 //
 // Chaos. -chaos appends a chaos phase: concurrency spikes to 4x and
 // every request passes the internal/faults gate first, so injected
@@ -56,6 +71,7 @@ import (
 	"expertfind"
 	"expertfind/internal/httpapi"
 	"expertfind/internal/loadgen"
+	"expertfind/internal/rescache"
 	"expertfind/internal/resilience"
 )
 
@@ -73,6 +89,11 @@ type options struct {
 
 	warmupReq, rampReq, steadyReq, openReq int
 	warmupDur, rampDur, steadyDur          time.Duration
+
+	cacheSize      int
+	cacheTTL       time.Duration
+	cachedReq      int
+	requireSpeedup bool
 
 	chaos          bool
 	chaosTransient float64
@@ -114,6 +135,11 @@ func parseFlags() *options {
 	flag.DurationVar(&o.warmupDur, "warmup", 2*time.Second, "real-mode warmup duration")
 	flag.DurationVar(&o.rampDur, "ramp", 2*time.Second, "real-mode ramp duration")
 	flag.DurationVar(&o.steadyDur, "steady", 10*time.Second, "real-mode steady duration")
+
+	flag.IntVar(&o.cacheSize, "cache-size", 0, "result-cache capacity; > 0 appends a cached-steady phase")
+	flag.DurationVar(&o.cacheTTL, "cache-ttl", 5*time.Minute, "result-cache entry lifetime (0 = until evicted)")
+	flag.IntVar(&o.cachedReq, "cached-requests", 600, "sim cached-steady phase size")
+	flag.BoolVar(&o.requireSpeedup, "require-cache-speedup", false, "fail unless cached-steady p95 beats steady p95 on every driver")
 
 	flag.BoolVar(&o.chaos, "chaos", false, "append a chaos phase (4x concurrency + fault injection)")
 	flag.Float64Var(&o.chaosTransient, "chaos-transient", 0.1, "chaos injected transient-failure rate")
@@ -159,13 +185,18 @@ func main() {
 	log.Printf("wrote %s", o.out)
 	printSummary(rep)
 
+	code := 0
+	if o.requireSpeedup {
+		code |= cacheGate(rep)
+	}
 	if o.baseline != "" {
 		if _, err := os.Stat(o.baseline); os.IsNotExist(err) {
 			log.Printf("baseline %s missing; skipping regression gate", o.baseline)
-			return
+		} else {
+			code |= gate(o.baseline, o.out, o.maxRegress)
 		}
-		os.Exit(gate(o.baseline, o.out, o.maxRegress))
 	}
+	os.Exit(code)
 }
 
 func buildSystem(o *options) *expertfind.System {
@@ -192,9 +223,13 @@ func buildSystem(o *options) *expertfind.System {
 
 func run(o *options, sys *expertfind.System) *loadgen.Report {
 	st := sys.Stats()
+	bench := 4
+	if o.cacheSize > 0 {
+		bench = 5
+	}
 	rep := &loadgen.Report{
 		Schema: loadgen.Schema,
-		Bench:  4,
+		Bench:  bench,
 		Mode:   o.mode,
 		Seed:   o.seed,
 		Corpus: loadgen.CorpusInfo{
@@ -210,11 +245,28 @@ func run(o *options, sys *expertfind.System) *loadgen.Report {
 	workload := loadgen.NewWorkload(loadgen.WorkloadConfig{Seed: o.seed}, loadgen.SystemSource(sys))
 
 	for _, driver := range drivers(o.driver) {
+		clock := resilience.RealClock()
+		if o.mode == "sim" {
+			clock = resilience.NewClock()
+		}
 		target, handler, cleanup := makeTarget(o, sys, driver)
-		runner := newRunner(o, workload, target)
+		runner := newRunner(o, workload, target, clock)
 		phases := phasePlan(o)
 		log.Printf("driver %s: %d phases", driver, len(phases))
 		results := runner.Run(phases...)
+		if o.cacheSize > 0 {
+			// Cached steady state: attach a fresh cache generation,
+			// continue the same Zipf-skewed request stream against it,
+			// then detach so later phases (and the next driver) start
+			// uncached. The cache shares the driver's clock, so TTL
+			// expiry is virtual in sim mode.
+			cache := rescache.New(rescache.Options{
+				Capacity: o.cacheSize, TTL: o.cacheTTL, Clock: clock,
+			})
+			sys.SetResultCache(cache.Attach())
+			results = append(results, runner.Run(cachedPhase(o))...)
+			sys.SetResultCache(nil)
+		}
 		if o.chaos && handler != nil {
 			// Rolling corpus swap: flip the self-hosted server to
 			// not-ready mid-run, so its real shedding middleware
@@ -228,6 +280,19 @@ func run(o *options, sys *expertfind.System) *loadgen.Report {
 		cleanup()
 	}
 	return rep
+}
+
+// cachedPhase continues steady-level load with the result cache
+// attached. In sim mode it runs at concurrency 1: which requests hit
+// is then a pure function of the request stream (no worker
+// interleaving), keeping the report deterministic; latency
+// percentiles stay comparable to steady's because simulated latency
+// is per-request. Real mode keeps the steady concurrency.
+func cachedPhase(o *options) loadgen.Phase {
+	if o.mode == "sim" {
+		return loadgen.Phase{Name: "cached-steady", Requests: o.cachedReq, Concurrency: 1}
+	}
+	return loadgen.Phase{Name: "cached-steady", Duration: o.steadyDur, Concurrency: o.concurrency}
 }
 
 // outagePhase drives steady-level load into the not-ready server.
@@ -255,17 +320,17 @@ func drivers(spec string) []string {
 // newRunner gives each driver its own runner, clock, and chaos gate,
 // all from the same seed: both drivers replay the same request stream
 // and the same fault draws, so their reports are directly comparable.
-func newRunner(o *options, w *loadgen.Workload, target loadgen.Target) *loadgen.Runner {
+// The clock is passed in (rather than built here) so run can share it
+// with the driver's result cache.
+func newRunner(o *options, w *loadgen.Workload, target loadgen.Target, clock *resilience.Clock) *loadgen.Runner {
 	cfg := loadgen.Config{
+		Clock:    clock,
 		Workload: w,
 		Target:   target,
 		Timeout:  o.reqTimeout,
 	}
 	if o.mode == "sim" {
-		cfg.Clock = resilience.NewClock()
 		cfg.Model = loadgen.DefaultSimModel(o.seed)
-	} else {
-		cfg.Clock = resilience.RealClock()
 	}
 	if o.chaos {
 		cfg.Chaos = loadgen.NewChaosGate(loadgen.ChaosConfig{
@@ -388,16 +453,47 @@ func gate(basePath, curPath string, maxRegress float64) int {
 	return 0
 }
 
+// cacheGate enforces -require-cache-speedup: every driver's
+// cached-steady p95 must beat its steady p95. Returns the exit code.
+func cacheGate(rep *loadgen.Report) int {
+	code := 0
+	for i := range rep.Drivers {
+		d := &rep.Drivers[i]
+		steady, cached := d.Phase("steady"), d.Phase("cached-steady")
+		if steady == nil || cached == nil {
+			log.Printf("CACHE GATE: driver %s: missing steady or cached-steady phase", d.Driver)
+			code = 1
+			continue
+		}
+		hitRate := 0.0
+		if cached.Requests > 0 {
+			hitRate = float64(cached.Cache["hit"]) / float64(cached.Requests)
+		}
+		if cached.Latency.P95 < steady.Latency.P95 {
+			log.Printf("cache gate passed: driver %s p95 %s -> %s (hit rate %.0f%%)",
+				d.Driver, fmtSec(steady.Latency.P95), fmtSec(cached.Latency.P95), hitRate*100)
+		} else {
+			log.Printf("CACHE GATE: driver %s: cached-steady p95 %s not better than steady p95 %s (hit rate %.0f%%)",
+				d.Driver, fmtSec(cached.Latency.P95), fmtSec(steady.Latency.P95), hitRate*100)
+			code = 1
+		}
+	}
+	return code
+}
+
 func printSummary(rep *loadgen.Report) {
 	for _, d := range rep.Drivers {
 		for _, p := range d.Phases {
-			errs := ""
+			extra := ""
 			if n := p.ErrorCount(); n > 0 {
-				errs = fmt.Sprintf("  errors=%v", p.Errors)
+				extra += fmt.Sprintf("  errors=%v", p.Errors)
+			}
+			if len(p.Cache) > 0 {
+				extra += fmt.Sprintf("  cache=%v", p.Cache)
 			}
 			log.Printf("%-9s %-12s %6d req  %8.1f qps  p50=%s p95=%s p99=%s%s",
 				d.Driver, p.Name, p.Requests, p.QPS,
-				fmtSec(p.Latency.P50), fmtSec(p.Latency.P95), fmtSec(p.Latency.P99), errs)
+				fmtSec(p.Latency.P50), fmtSec(p.Latency.P95), fmtSec(p.Latency.P99), extra)
 		}
 	}
 }

@@ -1,0 +1,119 @@
+// Command metricsdoc generates the metrics reference table in
+// OPERATIONS.md from the telemetry registry itself, so the operator
+// documentation can never drift from the code. Every instrumented
+// package registers its metric families in package-level vars (or
+// init), so importing them is enough to observe the full set — the
+// tool gathers the default registry, renders one markdown row per
+// family (name, type, labels, meaning), and splices it between the
+// marker comments in the target file.
+//
+// Usage:
+//
+//	metricsdoc            # print the table
+//	metricsdoc -write OPERATIONS.md
+//	metricsdoc -check OPERATIONS.md   # exit 1 when the block is stale
+//
+// The target file must contain the markers:
+//
+//	<!-- metricsdoc:begin -->
+//	<!-- metricsdoc:end -->
+//
+// CI runs -check; run -write after adding or renaming a metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"expertfind/internal/telemetry"
+
+	// Imported for their metric registrations only.
+	_ "expertfind/internal/core"
+	_ "expertfind/internal/crawler"
+	_ "expertfind/internal/httpapi"
+	_ "expertfind/internal/index"
+	_ "expertfind/internal/rescache"
+	_ "expertfind/internal/socialgraph"
+)
+
+const (
+	beginMarker = "<!-- metricsdoc:begin -->"
+	endMarker   = "<!-- metricsdoc:end -->"
+)
+
+func main() {
+	write := flag.String("write", "", "splice the table into this file's marker block")
+	check := flag.String("check", "", "verify this file's marker block is current")
+	flag.Parse()
+
+	table := render(telemetry.Default().Gather())
+	switch {
+	case *write != "":
+		updated, err := splice(*write, table)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*write, updated, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metricsdoc: wrote %s\n", *write)
+	case *check != "":
+		updated, err := splice(*check, table)
+		if err != nil {
+			fatal(err)
+		}
+		current, err := os.ReadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if string(current) != string(updated) {
+			fmt.Fprintf(os.Stderr, "metricsdoc: %s metrics table is stale; run: go run ./cmd/metricsdoc -write %s\n", *check, *check)
+			os.Exit(1)
+		}
+		fmt.Printf("metricsdoc: %s is current\n", *check)
+	default:
+		fmt.Print(table)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "metricsdoc: %v\n", err)
+	os.Exit(1)
+}
+
+// render builds the markdown table, sorted by metric name so output
+// does not depend on package initialization order.
+func render(fams []telemetry.FamilySnapshot) string {
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	var sb strings.Builder
+	sb.WriteString("| Metric | Type | Labels | Meaning |\n")
+	sb.WriteString("|---|---|---|---|\n")
+	for _, f := range fams {
+		labels := "–"
+		if len(f.LabelNames) > 0 {
+			labels = "`" + strings.Join(f.LabelNames, "`, `") + "`"
+		}
+		fmt.Fprintf(&sb, "| `%s` | %s | %s | %s |\n",
+			f.Name, f.Type, labels, strings.ReplaceAll(f.Help, "|", "\\|"))
+	}
+	return sb.String()
+}
+
+// splice returns path's contents with the marker block replaced by
+// table.
+func splice(path, table string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := string(b)
+	begin := strings.Index(s, beginMarker)
+	end := strings.Index(s, endMarker)
+	if begin < 0 || end < 0 || end < begin {
+		return nil, fmt.Errorf("%s: marker block %q ... %q not found", path, beginMarker, endMarker)
+	}
+	return []byte(s[:begin+len(beginMarker)] + "\n" + table + s[end:]), nil
+}

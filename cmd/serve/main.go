@@ -5,7 +5,7 @@
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
 //	      [-index-shards N] [-request-timeout D] [-max-concurrent N]
-//	      [-retry-after D] [-debug]
+//	      [-retry-after D] [-cache-size N] [-cache-ttl D] [-debug]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
@@ -15,6 +15,14 @@
 // until the corpus build finishes. Requests are bounded by
 // -request-timeout, and load beyond -max-concurrent in-flight /v1
 // requests is shed with 503 + Retry-After.
+//
+// Ranked /v1/find results are cached in a bounded LRU keyed by
+// (need, parameters, corpus generation): -cache-size bounds the entry
+// count (0 disables caching), -cache-ttl their lifetime. Concurrent
+// identical queries coalesce onto one scoring pass, responses carry a
+// Cache-Status: hit|miss|coalesced header, and every corpus install
+// opens a fresh cache generation so swapped corpora never serve stale
+// rankings.
 //
 // Observability: /metrics serves Prometheus text, /debug/traces the
 // recent query traces, /version the build identity. -debug
@@ -33,6 +41,7 @@ import (
 
 	"expertfind"
 	"expertfind/internal/httpapi"
+	"expertfind/internal/rescache"
 )
 
 func main() {
@@ -44,15 +53,22 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
 	maxConc := flag.Int("max-concurrent", 64, "max in-flight /v1 requests before shedding load (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+	cacheSize := flag.Int("cache-size", 4096, "ranked-result cache capacity in entries (0 disables caching)")
+	cacheTTL := flag.Duration("cache-ttl", time.Minute, "ranked-result cache entry lifetime (0 = until evicted)")
 	debugEndpoints := flag.Bool("debug", false, "mount pprof and expvar under /debug/")
 	flag.Parse()
 
+	var cache *rescache.Cache
+	if *cacheSize > 0 {
+		cache = rescache.New(rescache.Options{Capacity: *cacheSize, TTL: *cacheTTL})
+	}
 	handler := httpapi.NewWithOptions(nil, httpapi.Options{
 		RequestTimeout: *reqTimeout,
 		MaxConcurrent:  *maxConc,
 		RetryAfter:     *retryAfter,
 		Logger:         log.Default(),
 		Debug:          *debugEndpoints,
+		Cache:          cache,
 	})
 
 	// Build the corpus in the background so the listener (and its

@@ -300,11 +300,20 @@ func (s *System) Find(need string, opts ...FindOption) ([]Expert, error) {
 // recorded as spans on it — the serving layer uses this to expose
 // per-request traces at /debug/traces.
 func (s *System) FindContext(ctx context.Context, need string, opts ...FindOption) ([]Expert, error) {
+	out, _, err := s.FindCachedContext(ctx, need, opts...)
+	return out, err
+}
+
+// FindCachedContext is FindContext plus the result-cache disposition:
+// "hit", "miss" or "coalesced" when a cache is installed
+// (SetResultCache), "" when the query bypassed caching. The serving
+// layer reflects the disposition as the Cache-Status response header.
+func (s *System) FindCachedContext(ctx context.Context, need string, opts ...FindOption) ([]Expert, string, error) {
 	p, err := s.buildParams(opts)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	scores := s.inner.Finder.FindContext(ctx, need, p)
+	scores, status := s.inner.Finder.FindCachedContext(ctx, need, p)
 	out := make([]Expert, len(scores))
 	for i, es := range scores {
 		out[i] = Expert{
@@ -313,7 +322,18 @@ func (s *System) FindContext(ctx context.Context, need string, opts ...FindOptio
 			SupportingResources: es.Resources,
 		}
 	}
-	return out, nil
+	return out, string(status), nil
+}
+
+// SetResultCache installs (or, with nil, removes) a ranked-result
+// cache on the system's finder — normally a generation-pinned
+// internal/rescache view; the serving layer attaches one per corpus
+// install so swapped-out corpora can never serve stale rankings. The
+// parameter is the internal hook interface: module-external users
+// configure caching through cmd/serve's -cache-size/-cache-ttl flags
+// instead of calling this directly.
+func (s *System) SetResultCache(c core.ResultCache) {
+	s.inner.Finder.SetResultCache(c)
 }
 
 // BestNetwork answers the paper's second question — which is the best

@@ -17,7 +17,9 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
@@ -128,12 +130,89 @@ func (p Params) window(matches int) int {
 	}
 }
 
+// Fingerprint canonically encodes every Params field that can change
+// the ranking, for use in result-cache keys. Parameter sets with the
+// same semantics share a fingerprint: implicit defaults resolve to
+// their effective values (a zero Alpha to DefaultAlpha, zero weights
+// to DefaultDistanceWeights, a zero WindowSize to DefaultWindowSize),
+// and traversal networks are order-insensitive. ScoreWorkers is
+// deliberately excluded — it trades latency against CPU but never
+// changes the output (the sharded-scoring bit-equality guarantee), so
+// queries differing only in worker bound share cache entries.
+func (p Params) Fingerprint() string {
+	w := p.weights()
+	var win string
+	switch {
+	case p.WindowFrac > 0:
+		win = "f" + strconv.FormatFloat(p.WindowFrac, 'g', -1, 64)
+	case p.WindowSize < 0:
+		win = "all"
+	case p.WindowSize == 0:
+		win = strconv.Itoa(DefaultWindowSize)
+	default:
+		win = strconv.Itoa(p.WindowSize)
+	}
+	return fmt.Sprintf("a%s|w%s|dw%g,%g,%g|%s",
+		strconv.FormatFloat(p.alpha(), 'g', -1, 64), win,
+		w[0], w[1], w[2], traversalKey(p.Traversal))
+}
+
+// NormalizeNeed canonicalizes a need's text for cache keying: case is
+// folded and runs of whitespace collapse to single spaces. Both are
+// sound — the analysis pipeline lowercases during tokenization and
+// language identification, and tokenization is whitespace-insensitive
+// — so needs mapping to the same normalized form always rank
+// identically.
+func NormalizeNeed(need string) string {
+	return strings.Join(strings.Fields(strings.ToLower(need)), " ")
+}
+
 // ExpertScore is one ranked expert with its expertise score and the
 // number of relevant resources that supported it.
 type ExpertScore struct {
 	User      socialgraph.UserID
 	Score     float64
 	Resources int
+}
+
+// CacheStatus reports how a Find was answered when a result cache is
+// installed: from the cache (hit), by scoring and filling the cache
+// (miss), or by waiting on an identical in-flight query (coalesced).
+// The empty value means no cache was consulted.
+type CacheStatus string
+
+// The cache dispositions. Their string values are what the serving
+// layer sends in the Cache-Status response header.
+const (
+	CacheBypass    CacheStatus = ""
+	CacheHit       CacheStatus = "hit"
+	CacheMiss      CacheStatus = "miss"
+	CacheCoalesced CacheStatus = "coalesced"
+)
+
+// CacheKey identifies one Find computation for result caching. Two
+// queries with equal keys are guaranteed to rank identically (over
+// the same corpus), so a cache may serve one's result for the other.
+type CacheKey struct {
+	// Need is the normalized need text (NormalizeNeed).
+	Need string
+	// Group fingerprints the candidate pool CE the finder ranks
+	// (Finder.GroupFingerprint): a cache shared between finders over
+	// different groups must not cross-serve results.
+	Group string
+	// Params is the Params.Fingerprint of the query options.
+	Params string
+}
+
+// ResultCache is the hook a Finder routes Find queries through when
+// one is installed with SetResultCache. GetOrCompute must return
+// either a previously stored value for key or the result of calling
+// compute (exactly once per concurrent burst of equal keys, when the
+// implementation coalesces). internal/rescache provides the bounded
+// LRU+TTL implementation; the interface lives here so core does not
+// depend on it.
+type ResultCache interface {
+	GetOrCompute(key CacheKey, compute func() []ExpertScore) ([]ExpertScore, CacheStatus)
 }
 
 // Finder answers expertise needs over a social graph and a resource
@@ -144,6 +223,10 @@ type Finder struct {
 	index      index.Searcher
 	pipe       *analysis.Pipeline
 	candidates []socialgraph.UserID
+	groupFP    string
+
+	cacheMu sync.RWMutex
+	cache   ResultCache
 
 	mu       sync.Mutex
 	rcmCache map[string]map[socialgraph.ResourceID][]socialgraph.CandidateDistance
@@ -162,8 +245,42 @@ func NewFinder(g *socialgraph.Graph, ix index.Searcher, pipe *analysis.Pipeline,
 		index:      ix,
 		pipe:       pipe,
 		candidates: candidates,
+		groupFP:    groupFingerprint(candidates),
 		rcmCache:   make(map[string]map[socialgraph.ResourceID][]socialgraph.CandidateDistance),
 	}
+}
+
+// groupFingerprint hashes the candidate pool so cache keys distinguish
+// finders ranking different groups.
+func groupFingerprint(candidates []socialgraph.UserID) string {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, u := range candidates {
+		binary.LittleEndian.PutUint32(buf[:], uint32(u))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("n%d-%016x", len(candidates), h.Sum64())
+}
+
+// GroupFingerprint identifies the finder's candidate pool for result
+// caching; it participates in every CacheKey the finder builds.
+func (f *Finder) GroupFingerprint() string { return f.groupFP }
+
+// SetResultCache installs (or, with nil, removes) the Find result
+// cache. Once installed, FindContext routes queries through it; the
+// cache is expected to be generation-scoped to the corpus behind this
+// finder (see internal/rescache.Cache.Attach), because the finder
+// itself never invalidates it.
+func (f *Finder) SetResultCache(c ResultCache) {
+	f.cacheMu.Lock()
+	f.cache = c
+	f.cacheMu.Unlock()
+}
+
+func (f *Finder) resultCache() ResultCache {
+	f.cacheMu.RLock()
+	defer f.cacheMu.RUnlock()
+	return f.cache
 }
 
 // Candidates returns the candidate pool CE.
@@ -202,8 +319,40 @@ func (f *Finder) Find(need string, p Params) []ExpertScore {
 // FindContext is Find with a context. When ctx carries a telemetry
 // trace (telemetry.Tracer.Start), every pipeline stage is recorded as
 // a span on it; stage timings land in the metrics registry either
-// way.
+// way. With a result cache installed (SetResultCache), the query is
+// routed through it; use FindCachedContext to also learn the cache
+// disposition.
 func (f *Finder) FindContext(ctx context.Context, need string, p Params) []ExpertScore {
+	out, _ := f.FindCachedContext(ctx, need, p)
+	return out
+}
+
+// FindCachedContext is FindContext plus the cache disposition: how
+// the installed result cache answered (hit, miss, coalesced), or
+// CacheBypass when none is installed. Cache keys combine the
+// normalized need, the candidate-pool fingerprint and the Params
+// fingerprint; the cache implementation scopes them to the corpus
+// generation. A coalesced query shares the leading query's scoring
+// pass — and therefore its trace spans — recording only a "cache"
+// span of its own.
+func (f *Finder) FindCachedContext(ctx context.Context, need string, p Params) ([]ExpertScore, CacheStatus) {
+	c := f.resultCache()
+	if c == nil {
+		return f.findCold(ctx, need, p), CacheBypass
+	}
+	sp := telemetry.TraceFrom(ctx).StartSpan("cache")
+	key := CacheKey{Need: NormalizeNeed(need), Group: f.groupFP, Params: p.Fingerprint()}
+	out, status := c.GetOrCompute(key, func() []ExpertScore {
+		return f.findCold(ctx, need, p)
+	})
+	sp.SetAttr("status", string(status))
+	sp.End()
+	return out, status
+}
+
+// findCold runs the full uncached pipeline: analysis, then the
+// traverse/match/rank stages of FindAnalyzedContext.
+func (f *Finder) findCold(ctx context.Context, need string, p Params) []ExpertScore {
 	tr := telemetry.TraceFrom(ctx)
 	sp, t0 := tr.StartSpan("analyze"), time.Now()
 	a := f.pipe.AnalyzeNeed(need)

@@ -24,7 +24,10 @@
 //
 // /v1/find accepts the optional parameters alpha (0..1), distance
 // (0..2), window (int, 0 = no truncation), networks (comma-separated),
-// friends (bool) and top (int).
+// friends (bool) and top (int). When the handler manages a result
+// cache (Options.Cache), /v1/find responses carry a Cache-Status
+// header — hit, miss or coalesced — reporting how the ranking was
+// obtained; cached rankings are byte-identical to cold ones.
 //
 // Every request carries an ID — the inbound X-Request-ID header when
 // present, else generated — echoed as a response header, attached to
@@ -74,7 +77,7 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 		h.tracer = telemetry.DefaultTracer()
 	}
 	if sys != nil {
-		h.sys.Store(sys)
+		h.SetSystem(sys)
 	}
 	if opts.MaxConcurrent > 0 {
 		h.sem = make(chan struct{}, opts.MaxConcurrent)
@@ -113,8 +116,18 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 
 // SetSystem atomically installs (or swaps) the served System. Until
 // the first call with a non-nil System, /readyz and all /v1 routes
-// answer 503.
+// answer 503. With Options.Cache configured, each install attaches a
+// fresh cache generation to the incoming System — purging the
+// previous corpus's entries — and a nil install invalidates the
+// cache, so rankings can never outlive the corpus that produced them.
 func (h *Handler) SetSystem(sys *expertfind.System) {
+	if c := h.opts.Cache; c != nil {
+		if sys != nil {
+			sys.SetResultCache(c.Attach())
+		} else {
+			c.Invalidate()
+		}
+	}
 	h.sys.Store(sys)
 }
 
@@ -254,10 +267,13 @@ func (h *Handler) find(sys *expertfind.System, w http.ResponseWriter, r *http.Re
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	experts, err := sys.FindContext(r.Context(), need, opts...)
+	experts, cacheStatus, err := sys.FindCachedContext(r.Context(), need, opts...)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
+	}
+	if cacheStatus != "" {
+		w.Header().Set("Cache-Status", cacheStatus)
 	}
 	if top > 0 && len(experts) > top {
 		experts = experts[:top]

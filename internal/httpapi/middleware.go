@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"expertfind/internal/rescache"
 	"expertfind/internal/telemetry"
 )
 
@@ -37,6 +38,12 @@ type Options struct {
 	// /debug/vars. Off by default: profiling endpoints expose process
 	// internals and belong behind an operator's deliberate flag.
 	Debug bool
+	// Cache, when non-nil, is the ranked-result cache the handler
+	// manages across corpus installs: every SetSystem attaches a fresh
+	// generation (purging the previous corpus's entries) so a swapped
+	// corpus can never serve stale rankings. /v1/find reflects each
+	// query's disposition in the Cache-Status response header.
+	Cache *rescache.Cache
 }
 
 // retryAfterSeconds renders the Retry-After header value (whole

@@ -39,13 +39,20 @@ func NewChaosGate(cfg ChaosConfig, clock *resilience.Clock) *faults.Gate {
 
 // DefaultSimModel returns the service-time model simulation mode
 // uses: a fixed floor plus a per-byte cost, scaled by log-normal
-// noise — a pure function of (seed, seq, response size), so equal
+// noise — a pure function of (seed, seq, response outcome), so equal
 // seeds reproduce identical latency streams. Failed requests (zero
-// bytes) cost the floor only, mirroring cheap early rejection.
+// bytes) cost the floor only, mirroring cheap early rejection. A
+// result-cache hit skips the scoring pass entirely, so its modeled
+// cost drops to a lookup floor plus a cheap serialization term;
+// coalesced requests wait out the leader's scoring pass and are
+// charged like misses.
 func DefaultSimModel(seed int64) ServiceModel {
 	return func(seq uint64, res Result) time.Duration {
 		rng := rand.New(rand.NewSource(int64(mix(seq ^ uint64(seed)*0x6a09e667f3bcc909))))
 		base := 500*time.Microsecond + time.Duration(res.Bytes)*2*time.Microsecond
+		if res.Cache == "hit" {
+			base = 30*time.Microsecond + time.Duration(res.Bytes)*100*time.Nanosecond
+		}
 		// Log-normal multiplicative noise, σ = 0.3.
 		noise := 1.0
 		for i := 0; i < 4; i++ {

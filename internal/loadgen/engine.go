@@ -112,10 +112,14 @@ func NewRunner(cfg Config) *Runner {
 // aggregate is deterministic even though workers race.
 type phaseState struct {
 	hist     *telemetry.Histogram
-	classes  []atomic.Uint64 // indexed parallel to Classes
+	classes  []atomic.Uint64  // indexed parallel to Classes
+	cache    [3]atomic.Uint64 // hit, miss, coalesced
 	executed atomic.Uint64
 	sumLat   atomic.Int64 // nanoseconds
 }
+
+// cacheStatuses indexes phaseState.cache.
+var cacheStatuses = [3]string{"hit", "miss", "coalesced"}
 
 func newPhaseState(buckets []float64) *phaseState {
 	reg := telemetry.NewRegistry()
@@ -137,6 +141,12 @@ func classIndex(c Class) int {
 func (st *phaseState) record(res Result, lat time.Duration) {
 	st.executed.Add(1)
 	st.classes[classIndex(res.Class)].Add(1)
+	for i, s := range cacheStatuses {
+		if res.Cache == s {
+			st.cache[i].Add(1)
+			break
+		}
+	}
 	st.sumLat.Add(int64(lat))
 	st.hist.Observe(lat.Seconds())
 }
@@ -313,6 +323,14 @@ func (r *Runner) result(p Phase, st *phaseState, executed uint64, dur time.Durat
 		}
 		if n := st.classes[i].Load(); n > 0 {
 			res.Errors[string(c)] = n
+		}
+	}
+	for i, s := range cacheStatuses {
+		if n := st.cache[i].Load(); n > 0 {
+			if res.Cache == nil {
+				res.Cache = map[string]uint64{}
+			}
+			res.Cache[s] = n
 		}
 	}
 	res.DurationSeconds = dur.Seconds()

@@ -30,7 +30,11 @@ type PhaseResult struct {
 	// Errors maps taxonomy classes (shed, timeout, 4xx, 5xx,
 	// transport, injected) to counts; successes are Requests minus the
 	// sum. Only nonzero classes appear.
-	Errors          map[string]uint64 `json:"errors,omitempty"`
+	Errors map[string]uint64 `json:"errors,omitempty"`
+	// Cache maps result-cache dispositions (hit, miss, coalesced) to
+	// counts. Omitted entirely for uncached phases, so reports from
+	// runs without -cache-size stay byte-identical to pre-cache ones.
+	Cache           map[string]uint64 `json:"cache,omitempty"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	QPS             float64           `json:"qps"`
 	Latency         Percentiles       `json:"latency_seconds"`

@@ -52,6 +52,11 @@ type Result struct {
 	// Bytes is a deterministic response-cost proxy: the serialized
 	// response size. Service models may scale simulated latency by it.
 	Bytes int
+	// Cache is the result-cache disposition when the target's system
+	// caches rankings: "hit", "miss" or "coalesced" (the in-process
+	// disposition, or the HTTP Cache-Status header). Empty when the
+	// query bypassed caching. Service models may discount hit latency.
+	Cache string
 	// Err retains the underlying error for logging; nil for ClassOK.
 	Err error
 }
@@ -81,7 +86,7 @@ func NewFinderTarget(sys *expertfind.System, top int, opts ...expertfind.FindOpt
 		if err := ctx.Err(); err != nil {
 			return Result{Class: ClassTimeout, Err: err}
 		}
-		experts, err := sys.FindContext(ctx, need, opts...)
+		experts, cacheStatus, err := sys.FindCachedContext(ctx, need, opts...)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				return Result{Class: ClassTimeout, Err: err}
@@ -95,7 +100,7 @@ func NewFinderTarget(sys *expertfind.System, top int, opts ...expertfind.FindOpt
 			experts = experts[:top]
 		}
 		b, _ := json.Marshal(experts)
-		return Result{Class: ClassOK, Bytes: len(b)}
+		return Result{Class: ClassOK, Bytes: len(b), Cache: cacheStatus}
 	})
 }
 
@@ -130,7 +135,11 @@ func NewHTTPTarget(client *http.Client, baseURL string, params url.Values) Targe
 		if readErr != nil {
 			return Result{Class: ClassTransport, Bytes: len(body), Err: readErr}
 		}
-		return Result{Class: classifyHTTP(resp.StatusCode, body), Bytes: len(body)}
+		return Result{
+			Class: classifyHTTP(resp.StatusCode, body),
+			Bytes: len(body),
+			Cache: resp.Header.Get("Cache-Status"),
+		}
 	})
 }
 
