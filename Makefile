@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos loadtest-cached docs-check check clean
+.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos loadtest-cached loadtest-scatter docs-check check clean
 
 all: check
 
@@ -78,6 +78,16 @@ loadtest-cached:
 	$(GO) run ./cmd/loadtest -stamp=false -cache-size 4096 -cache-ttl 5m \
 		-require-cache-speedup -out BENCH_5.run.json
 
+# loadtest-scatter boots the real multi-process scatter-gather
+# topology — shard-mode serve processes plus a coordinator, built from
+# source and SIGKILLed mid-run. Gates: healthy coordinator responses
+# byte-identical to a single process over the same corpus, degraded
+# queries still answering 200 with the X-Expertfind-Degraded header
+# and a climbing degraded-query counter, and byte-identical recovery
+# after the shard restarts.
+loadtest-scatter:
+	$(GO) run ./cmd/loadtest -scatter -scale 0.05 -stamp=false -out BENCH_6.run.json
+
 # docs-check enforces the documentation contract: every package
 # carries a package doc comment, and the metrics reference table in
 # OPERATIONS.md matches the telemetry registry (regenerate with
@@ -90,7 +100,7 @@ docs-check:
 # race-enabled test suite (which subsumes the plain one), the bench
 # smoke, the load-test SLO and cache gates, the coverage floors, and
 # the documentation gates.
-check: fmt vet build race bench-smoke loadtest-smoke loadtest-cached cover-check docs-check
+check: fmt vet build race bench-smoke loadtest-smoke loadtest-cached loadtest-scatter cover-check docs-check
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,120 @@
+// Command coordinator serves the expert finding API by fanning
+// queries out to a scatter-gather shard topology (shard-mode cmd/serve
+// processes) and merging their replies. It loads no corpus: candidate
+// names and the pool fingerprint are bootstrapped from shard metadata,
+// and healthy-topology /v1/find responses are byte-identical to a
+// single process serving the same corpus.
+//
+// Usage:
+//
+//	coordinator -shards http://h1:8081,http://h2:8082,...
+//	            [-addr :8080] [-shard-timeout D] [-request-timeout D]
+//	            [-max-concurrent N] [-retry-after D] [-hedge-disable]
+//	            [-health-interval D]
+//
+// Shard URL position defines the shard id: the i-th URL must be the
+// process started with -shard-id i -shard-count len(urls).
+//
+// Every shard call runs under a per-call deadline, bounded retries,
+// a hedged backup request past the shard's latency quantile, and a
+// per-shard circuit breaker. Shards that stay down are dropped from
+// queries: responses carry the X-Expertfind-Degraded header and a
+// "degraded" JSON field instead of failing, and /readyz reports
+// "degraded" while part of the topology is away.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"expertfind/internal/httpapi"
+	"expertfind/internal/scatter"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, position = shard id (required)")
+	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-call deadline budget for one shard request")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
+	maxConc := flag.Int("max-concurrent", 64, "max in-flight /v1 requests before shedding load (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+	hedgeDisable := flag.Bool("hedge-disable", false, "disable hedged second requests")
+	healthInterval := flag.Duration("health-interval", time.Second, "shard readiness probe interval")
+	flag.Parse()
+
+	var bases []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			bases = append(bases, strings.TrimRight(s, "/"))
+		}
+	}
+	if len(bases) == 0 {
+		log.Fatal("coordinator: -shards is required")
+	}
+
+	co, err := scatter.New(scatter.Options{
+		Shards:         bases,
+		ShardTimeout:   *shardTimeout,
+		Hedge:          scatter.HedgePolicy{Disable: *hedgeDisable},
+		HealthInterval: *healthInterval,
+		Logger:         log.Default(),
+	})
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+
+	handler := httpapi.NewCoordinator(co, httpapi.Options{
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *maxConc,
+		RetryAfter:     *retryAfter,
+		Logger:         log.Default(),
+	})
+
+	// Background health loop: bootstrap retries until the topology is
+	// known, then periodic readiness probes keep /readyz and the
+	// shards-down gauge fresh.
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	defer stopLoop()
+	go co.Run(loopCtx)
+
+	writeTimeout := 30 * time.Second
+	if *reqTimeout > 0 && *reqTimeout+5*time.Second > writeTimeout {
+		writeTimeout = *reqTimeout + 5*time.Second
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("coordinator: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("coordinator: shutdown: %v", err)
+		}
+		close(idle)
+	}()
+
+	log.Printf("coordinating %d shards on %s", len(bases), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Printf("coordinator: listen: %v", err)
+		os.Exit(1)
+	}
+	<-idle
+}

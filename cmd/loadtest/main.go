@@ -14,6 +14,8 @@
 //	         [-chaos] [-chaos-transient F] [-chaos-ratelimit F]
 //	         [-chaos-latency D] [-chaos-requests N] [-chaos-duration D]
 //	         [-addr URL] [-max-concurrent N] [-request-timeout D]
+//	         [-scatter] [-scatter-shards N] [-scatter-requests N]
+//	         [-scatter-verbose]
 //	         [-out BENCH_4.json] [-baseline file] [-max-regress F]
 //	         [-stamp] [-rev REV] [-compare-only]
 //
@@ -48,6 +50,17 @@
 // server, genuine load-shed 503s) show up in the error taxonomy
 // while the harness still exits 0 — shed load is correct behavior,
 // not a harness failure.
+//
+// Scatter. -scatter replaces the sim/real phases with the
+// multi-process scatter-gather chaos scenario: it builds the real
+// serve and coordinator binaries, boots -scatter-shards shard
+// processes plus a coordinator on loopback ports, and gates three
+// wall-clock phases — healthy (coordinator responses byte-identical
+// to a single-process baseline over the same corpus), degraded (one
+// shard SIGKILLed mid-run: every query still answers 200 with the
+// X-Expertfind-Degraded header and the degraded-query counter > 0),
+// and recovered (the shard restarted: byte-identical again). The
+// report lands in BENCH_6.run.json unless -out is set explicitly.
 //
 // Gating. With -baseline, the run's steady-phase p95 and throughput
 // are compared against the saved report; regressions beyond
@@ -106,6 +119,11 @@ type options struct {
 	maxConc    int
 	reqTimeout time.Duration
 
+	scatter        bool
+	scatterShards  int
+	scatterReq     int
+	scatterVerbose bool
+
 	out         string
 	baseline    string
 	maxRegress  float64
@@ -113,6 +131,11 @@ type options struct {
 	rev         string
 	compareOnly bool
 }
+
+// defaultOut is the sim report's default path; the scatter scenario
+// redirects an unchanged -out away from it so a real-mode run never
+// clobbers the committed deterministic baseline.
+const defaultOut = "BENCH_4.json"
 
 func parseFlags() *options {
 	var o options
@@ -152,7 +175,12 @@ func parseFlags() *options {
 	flag.IntVar(&o.maxConc, "max-concurrent", 64, "self-hosted server concurrency cap (small values force load shedding)")
 	flag.DurationVar(&o.reqTimeout, "request-timeout", 5*time.Second, "per-request deadline")
 
-	flag.StringVar(&o.out, "out", "BENCH_4.json", "report output path")
+	flag.BoolVar(&o.scatter, "scatter", false, "run the multi-process scatter-gather chaos scenario instead of the sim/real phases")
+	flag.IntVar(&o.scatterShards, "scatter-shards", 3, "scatter topology size (shard processes)")
+	flag.IntVar(&o.scatterReq, "scatter-requests", 150, "requests per scatter phase (steady, degraded, recovered)")
+	flag.BoolVar(&o.scatterVerbose, "scatter-verbose", false, "forward scatter child-process logs to stderr")
+
+	flag.StringVar(&o.out, "out", defaultOut, "report output path")
 	flag.StringVar(&o.baseline, "baseline", "", "baseline report to gate against")
 	flag.Float64Var(&o.maxRegress, "max-regress", 0.20, "allowed fractional p95/qps regression")
 	flag.BoolVar(&o.stamp, "stamp", true, "stamp the report with git rev and timestamp")
@@ -175,6 +203,9 @@ func main() {
 	}
 	if o.mode != "sim" && o.mode != "real" {
 		log.Fatalf("unknown -mode %q", o.mode)
+	}
+	if o.scatter {
+		os.Exit(runScatter(o))
 	}
 
 	sys := buildSystem(o)

@@ -1,0 +1,289 @@
+package main
+
+// The -scatter scenario: a real multi-process scatter-gather
+// deployment driven end to end. Unlike the sim phases, everything
+// here is wall-clock and real processes — the point is to exercise
+// genuine SIGKILL, connection refusal, breaker trips, and recovery,
+// and to gate the coordinator's merged bytes against a single-process
+// baseline before and after the chaos.
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"expertfind"
+	"expertfind/internal/httpapi"
+	"expertfind/internal/loadgen"
+)
+
+// runScatter executes the scatter-gather chaos scenario and returns
+// the process exit code. The flow: build the real binaries, boot a
+// single-process baseline in-process and an N-shard cluster out of
+// process, then gate three phases — healthy (byte-identical to the
+// baseline), degraded (one shard SIGKILLed: still 200s, degraded
+// header, degraded-query counter climbing), and recovered (shard
+// restarted: byte-identical again).
+func runScatter(o *options) int {
+	if o.scatterShards < 2 {
+		log.Fatalf("-scatter-shards %d: need at least 2 so a kill leaves survivors", o.scatterShards)
+	}
+	t0 := time.Now()
+	dir, err := os.MkdirTemp("", "expertfind-scatter-")
+	if err != nil {
+		log.Fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	serveBin, coordBin, err := loadgen.BuildScatterBinaries(dir)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	log.Printf("binaries built in %v (race=%v)", time.Since(t0).Round(time.Millisecond), loadgen.RaceEnabled)
+
+	// The baseline is the same serving stack in one process over the
+	// same corpus config the shard processes will generate slices of.
+	sys := buildSystem(o)
+	baseURL, stopBaseline := selfHostBaseline(sys)
+	defer stopBaseline()
+
+	var logf func(string, ...any)
+	if o.scatterVerbose {
+		logf = log.Printf
+	}
+	cl, err := loadgen.StartScatter(loadgen.ScatterConfig{
+		ServeBin:    serveBin,
+		CoordBin:    coordBin,
+		Shards:      o.scatterShards,
+		CorpusSeed:  o.corpusSeed,
+		Scale:       o.scale,
+		IndexShards: o.indexShards,
+		Logf:        logf,
+	})
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	log.Printf("cluster ready in %v: %d shards behind %s", time.Since(t0).Round(time.Millisecond), o.scatterShards, cl.CoordinatorURL())
+
+	code := 0
+	paths := scatterPaths(sys, o.top)
+	code |= scatterDiffGate("healthy", baseURL, cl.CoordinatorURL(), paths)
+
+	workload := loadgen.NewWorkload(loadgen.WorkloadConfig{Seed: o.seed}, loadgen.SystemSource(sys))
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	defer client.CloseIdleConnections()
+	runner := loadgen.NewRunner(loadgen.Config{
+		Workload: workload,
+		Target:   loadgen.NewHTTPTarget(client, cl.CoordinatorURL(), url.Values{"top": {strconv.Itoa(o.top)}}),
+		Timeout:  o.reqTimeout,
+	})
+	phase := func(name string) loadgen.Phase {
+		return loadgen.Phase{Name: name, Requests: o.scatterReq, Concurrency: o.concurrency}
+	}
+
+	results := runner.Run(phase("scatter-steady"))
+	code |= scatterPhaseGate(&results[0])
+
+	// Chaos: SIGKILL one shard — no drain, no goodbye — and keep
+	// driving load. Every query must still answer 200, now flagged
+	// degraded, while the coordinator's breaker stops paying the
+	// per-query connection-refused tax.
+	const victim = 1
+	if err := cl.KillShard(victim); err != nil {
+		log.Fatalf("kill shard %d: %v", victim, err)
+	}
+	if err := cl.WaitCoordinator("degraded", 30*time.Second); err != nil {
+		log.Printf("SCATTER GATE: coordinator never reported degraded: %v", err)
+		code = 1
+	}
+	results = append(results, runner.Run(phase("scatter-degraded"))...)
+	code |= scatterPhaseGate(&results[1])
+	code |= scatterDegradedGate(cl, paths[0], o.scatterShards)
+
+	// Recovery: a replacement shard on the original port. Once its
+	// slice is built and the breaker's cooldown lapses, responses must
+	// drop the degraded flag and match the baseline byte for byte.
+	if err := cl.RestartShard(victim); err != nil {
+		log.Fatalf("restart shard %d: %v", victim, err)
+	}
+	if err := cl.WaitCoordinator("ready", 60*time.Second); err != nil {
+		log.Printf("SCATTER GATE: coordinator never recovered: %v", err)
+		code = 1
+	}
+	if err := waitNonDegraded(cl.CoordinatorURL()+paths[0], 15*time.Second); err != nil {
+		log.Printf("SCATTER GATE: %v", err)
+		code = 1
+	}
+	results = append(results, runner.Run(phase("scatter-recovered"))...)
+	code |= scatterPhaseGate(&results[2])
+	code |= scatterDiffGate("recovered", baseURL, cl.CoordinatorURL(), paths)
+
+	st := sys.Stats()
+	rep := &loadgen.Report{
+		Schema: loadgen.Schema,
+		Bench:  6,
+		Mode:   "real",
+		Seed:   o.seed,
+		Corpus: loadgen.CorpusInfo{
+			Seed: o.corpusSeed, Scale: o.scale,
+			Candidates: st.Candidates, Documents: st.Indexed,
+		},
+		Drivers: []loadgen.DriverReport{{Driver: "scatter", Phases: results}},
+	}
+	if o.stamp {
+		rep.GitRev = gitRev(o.rev)
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	out := o.out
+	if out == defaultOut {
+		out = "BENCH_6.run.json" // don't clobber the sim baseline with a real-mode report
+	}
+	if err := rep.WriteFile(out); err != nil {
+		log.Fatalf("write %s: %v", out, err)
+	}
+	log.Printf("wrote %s", out)
+	printSummary(rep)
+	if code == 0 {
+		log.Printf("scatter gates passed: merged bytes match single process, chaos degraded %d shard without failing queries", 1)
+	}
+	return code
+}
+
+// selfHostBaseline serves sys on a loopback port through the full
+// middleware stack — the same path the shard processes use — so the
+// differential gate compares like with like.
+func selfHostBaseline(sys *expertfind.System) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("baseline listen: %v", err)
+	}
+	srv := &http.Server{Handler: httpapi.New(sys)}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}
+
+// scatterPaths are the differential probe queries: corpus evaluation
+// needs plus parameter variants, covering top truncation, blend and
+// window overrides, and distance-capped traversal.
+func scatterPaths(sys *expertfind.System, top int) []string {
+	queries := sys.Queries()
+	esc := func(s string) string { return url.QueryEscape(s) }
+	return []string{
+		fmt.Sprintf("/v1/find?q=%s&top=%d", esc(queries[0].Text), top),
+		fmt.Sprintf("/v1/find?q=%s", esc(queries[1].Text)),
+		fmt.Sprintf("/v1/find?q=%s&alpha=0.3&window=50", esc(queries[2].Text)),
+		fmt.Sprintf("/v1/find?q=%s&distance=1&top=3", esc(queries[3].Text)),
+		"/v1/find?q=" + esc("database systems and query optimization"),
+	}
+}
+
+// scatterDiffGate fails unless the coordinator answers every probe
+// path 200 without the degraded header and byte-identical to the
+// single-process baseline.
+func scatterDiffGate(label, baseURL, coordURL string, paths []string) int {
+	code := 0
+	for _, p := range paths {
+		wantStatus, want := scatterGET(baseURL + p)
+		gotStatus, got := scatterGET(coordURL + p)
+		switch {
+		case wantStatus != http.StatusOK || gotStatus != http.StatusOK:
+			log.Printf("SCATTER GATE (%s): GET %s: baseline %d, coordinator %d", label, p, wantStatus, gotStatus)
+			code = 1
+		case want != got:
+			log.Printf("SCATTER GATE (%s): GET %s diverged:\n single:      %s\n coordinator: %s", label, p, want, got)
+			code = 1
+		}
+	}
+	if code == 0 {
+		log.Printf("differential gate (%s): %d paths byte-identical to single process", label, len(paths))
+	}
+	return code
+}
+
+// scatterDegradedGate verifies the degraded contract after a kill:
+// queries answer 200 with the X-Expertfind-Degraded header, and the
+// coordinator's degraded-query counter is climbing.
+func scatterDegradedGate(cl *loadgen.ScatterCluster, path string, shards int) int {
+	code := 0
+	resp, body := scatterRawGET(cl.CoordinatorURL() + path)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		log.Printf("SCATTER GATE (degraded): GET %s did not answer 200: %v %s", path, resp, body)
+		code = 1
+	} else if h := resp.Header.Get(httpapi.DegradedHeader); h != fmt.Sprintf("shards=1/%d", shards) {
+		log.Printf("SCATTER GATE (degraded): header = %q, want shards=1/%d", h, shards)
+		code = 1
+	}
+	n, ok, err := cl.Metric("expertfind_scatter_degraded_queries_total")
+	if err != nil || !ok || n < 1 {
+		log.Printf("SCATTER GATE (degraded): degraded_queries_total = %v (ok=%v, err=%v), want >= 1", n, ok, err)
+		code = 1
+	} else {
+		log.Printf("degraded gate: %d shard down, %.0f degraded queries answered 200 with partial results", 1, n)
+	}
+	return code
+}
+
+// scatterPhaseGate inspects one load phase's error taxonomy: any
+// 4xx/5xx/transport failure fails the run (degraded responses are
+// 200s, so a healthy-or-degraded cluster produces none), shed and
+// timeout are tolerated (busy CI machines), and at least one request
+// must have succeeded.
+func scatterPhaseGate(p *loadgen.PhaseResult) int {
+	code := 0
+	for _, class := range []loadgen.Class{loadgen.Class4xx, loadgen.Class5xx, loadgen.ClassTransport} {
+		if n := p.Errors[string(class)]; n > 0 {
+			log.Printf("SCATTER GATE: phase %s saw %d %s errors", p.Name, n, class)
+			code = 1
+		}
+	}
+	if ok := p.Requests - p.ErrorCount(); ok == 0 {
+		log.Printf("SCATTER GATE: phase %s completed no successful requests (errors=%v)", p.Name, p.Errors)
+		code = 1
+	}
+	return code
+}
+
+// waitNonDegraded polls until a find answers without the degraded
+// header — the restarted shard's breaker may hold it out of rotation
+// for one cooldown after /readyz already reports ready.
+func waitNonDegraded(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastHdr string
+	for time.Now().Before(deadline) {
+		resp, _ := scatterRawGET(url)
+		if resp != nil {
+			lastHdr = resp.Header.Get(httpapi.DegradedHeader)
+			if resp.StatusCode == http.StatusOK && lastHdr == "" {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("responses still degraded (%q) after %v", lastHdr, timeout)
+}
+
+func scatterGET(url string) (int, string) {
+	resp, body := scatterRawGET(url)
+	if resp == nil {
+		return 0, body
+	}
+	return resp.StatusCode, body
+}
+
+func scatterRawGET(url string) (*http.Response, string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err.Error()
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	io.Copy(&sb, resp.Body)
+	return resp, sb.String()
+}

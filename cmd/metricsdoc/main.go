@@ -36,6 +36,7 @@ import (
 	_ "expertfind/internal/httpapi"
 	_ "expertfind/internal/index"
 	_ "expertfind/internal/rescache"
+	_ "expertfind/internal/scatter"
 	_ "expertfind/internal/socialgraph"
 )
 

@@ -6,9 +6,15 @@
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
 //	      [-index-shards N] [-request-timeout D] [-max-concurrent N]
 //	      [-retry-after D] [-cache-size N] [-cache-ttl D] [-debug]
+//	      [-shard-id N -shard-count N]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
+//
+// With -shard-count N (and -shard-id in [0,N)), the process serves
+// one shard of a scatter-gather topology: it analyzes and indexes
+// only the document slice index.ShardRoute assigns to it and mounts
+// the /v1/shard/* endpoints cmd/coordinator fans out to.
 //
 // The listener comes up immediately; /healthz answers 200 from the
 // start while /readyz and the /v1 routes answer 503 + Retry-After
@@ -56,8 +62,17 @@ func main() {
 	cacheSize := flag.Int("cache-size", 4096, "ranked-result cache capacity in entries (0 disables caching)")
 	cacheTTL := flag.Duration("cache-ttl", time.Minute, "ranked-result cache entry lifetime (0 = until evicted)")
 	debugEndpoints := flag.Bool("debug", false, "mount pprof and expvar under /debug/")
+	shardID := flag.Int("shard-id", 0, "this process's shard number in a scatter-gather topology (with -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "scatter-gather topology size; >= 1 serves only this shard's document slice and mounts /v1/shard/*")
 	flag.Parse()
 
+	var shard *httpapi.ShardOptions
+	if *shardCount > 0 {
+		if *shardID < 0 || *shardID >= *shardCount {
+			log.Fatalf("serve: -shard-id %d outside [0,%d)", *shardID, *shardCount)
+		}
+		shard = &httpapi.ShardOptions{ID: *shardID, Count: *shardCount}
+	}
 	var cache *rescache.Cache
 	if *cacheSize > 0 {
 		cache = rescache.New(rescache.Options{Capacity: *cacheSize, TTL: *cacheTTL})
@@ -69,6 +84,7 @@ func main() {
 		Logger:         log.Default(),
 		Debug:          *debugEndpoints,
 		Cache:          cache,
+		Shard:          shard,
 	})
 
 	// Build the corpus in the background so the listener (and its
@@ -80,17 +96,28 @@ func main() {
 			sys *expertfind.System
 			err error
 		)
-		if *corpus != "" {
+		cfg := expertfind.Config{Seed: *seed, Scale: *scale, IndexShards: *indexShards}
+		switch {
+		case *corpus != "" && shard != nil:
+			sys, err = expertfind.NewSystemFromCorpusShard(*corpus, *indexShards, shard.ID, shard.Count)
+		case *corpus != "":
 			sys, err = expertfind.NewSystemFromCorpusShards(*corpus, *indexShards)
-			if err != nil {
-				log.Fatalf("serve: corpus: %v", err)
-			}
-		} else {
-			sys = expertfind.NewSystem(expertfind.Config{Seed: *seed, Scale: *scale, IndexShards: *indexShards})
+		case shard != nil:
+			sys, err = expertfind.NewSystemShard(cfg, shard.ID, shard.Count)
+		default:
+			sys = expertfind.NewSystem(cfg)
+		}
+		if err != nil {
+			log.Fatalf("serve: corpus: %v", err)
 		}
 		st := sys.Stats()
-		log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed across %d shards",
-			time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources, st.IndexShards)
+		if shard != nil {
+			log.Printf("shard %d/%d ready in %v: %d candidates, %d resources in slice",
+				shard.ID, shard.Count, time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed)
+		} else {
+			log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed across %d shards",
+				time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources, st.IndexShards)
+		}
 		handler.SetSystem(sys)
 	}()
 

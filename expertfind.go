@@ -120,13 +120,17 @@ type System struct {
 // through the full analysis pipeline. Building a full-scale system
 // takes a few seconds; reuse it across queries.
 func NewSystem(cfg Config) *System {
-	inner := experiments.BuildSystem(dataset.Config{
+	return wrapSystem(experiments.BuildSystem(datasetConfig(cfg)))
+}
+
+// datasetConfig maps the public Config onto the generator's.
+func datasetConfig(cfg Config) dataset.Config {
+	return dataset.Config{
 		Seed:          cfg.Seed,
 		NumCandidates: cfg.Candidates,
 		Scale:         cfg.Scale,
 		IndexShards:   cfg.IndexShards,
-	})
-	return wrapSystem(inner)
+	}
 }
 
 // NewSystemFromCorpus loads a corpus snapshot previously saved with
@@ -147,6 +151,39 @@ func NewSystemFromCorpusShards(path string, shards int) (*System, error) {
 		ds.Config.IndexShards = shards
 	}
 	return wrapSystem(experiments.BuildSystemFromDataset(ds)), nil
+}
+
+// NewSystemFromCorpusShard loads a corpus snapshot as one shard of a
+// scatter-gather topology: the system carries the full social graph
+// but analyzes and indexes only the documents that the stable
+// splitmix64 route (index.ShardRoute) assigns to shard shardID of
+// shardCount. Serve it with `serve -shard-id/-shard-count` behind a
+// coordinator; it answers the shard-scoped endpoints, not meaningful
+// standalone /v1/find queries (its index is a slice of the corpus).
+func NewSystemFromCorpusShard(path string, indexShards, shardID, shardCount int) (*System, error) {
+	if shardCount < 1 || shardID < 0 || shardID >= shardCount {
+		return nil, fmt.Errorf("expertfind: shard %d/%d outside topology", shardID, shardCount)
+	}
+	ds, err := corpusio.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if indexShards != 0 {
+		ds.Config.IndexShards = indexShards
+	}
+	return wrapSystem(experiments.BuildSystemFromDatasetShard(ds, shardID, shardCount)), nil
+}
+
+// NewSystemShard is NewSystem restricted to one scatter-gather shard
+// slice (see NewSystemFromCorpusShard); the synthetic corpus is still
+// generated in full so every shard agrees on the graph and ground
+// truth, but analysis and indexing cover only the slice.
+func NewSystemShard(cfg Config, shardID, shardCount int) (*System, error) {
+	if shardCount < 1 || shardID < 0 || shardID >= shardCount {
+		return nil, fmt.Errorf("expertfind: shard %d/%d outside topology", shardID, shardCount)
+	}
+	ds := datasetConfig(cfg)
+	return wrapSystem(experiments.BuildSystemFromDatasetShard(dataset.Generate(ds), shardID, shardCount)), nil
 }
 
 // NewSystemFromCorpusAndIndex loads a corpus snapshot together with a
@@ -277,16 +314,7 @@ func WithDistanceWeights(d0, d1, d2 float64) FindOption {
 }
 
 func (s *System) buildParams(opts []FindOption) (core.Params, error) {
-	cfg := findConfig{params: core.Params{
-		Traversal: socialgraph.TraversalOptions{MaxDistance: 2},
-	}}
-	for _, o := range opts {
-		o(&cfg)
-		if cfg.err != nil {
-			return core.Params{}, cfg.err
-		}
-	}
-	return cfg.params, nil
+	return ResolveParams(opts...)
 }
 
 // Find ranks the candidate experts for an expertise need, best first.
@@ -334,6 +362,46 @@ func (s *System) FindCachedContext(ctx context.Context, need string, opts ...Fin
 // instead of calling this directly.
 func (s *System) SetResultCache(c core.ResultCache) {
 	s.inner.Finder.SetResultCache(c)
+}
+
+// ResolveParams converts Find options into the resolved internal
+// query parameters. The scatter-gather serving layer uses it so the
+// coordinator truncates and aggregates merged shard results under
+// exactly the window/weight semantics the shards scored with.
+func ResolveParams(opts ...FindOption) (core.Params, error) {
+	cfg := findConfig{params: core.Params{
+		Traversal: socialgraph.TraversalOptions{MaxDistance: 2},
+	}}
+	for _, o := range opts {
+		o(&cfg)
+		if cfg.err != nil {
+			return core.Params{}, cfg.err
+		}
+	}
+	return cfg.params, nil
+}
+
+// CoreFinder exposes the underlying expert finder for the shard-
+// scoped serving endpoints (stats gathering and globally-weighted
+// slice scoring); module-external users query through Find instead.
+func (s *System) CoreFinder() *core.Finder { return s.inner.Finder }
+
+// CandidateInfo pairs a candidate's stable user id with their handle.
+type CandidateInfo struct {
+	ID   int32  `json:"id"`
+	Name string `json:"name"`
+}
+
+// CandidateInfos lists the candidate pool with ids and handles,
+// sorted by id. The scatter coordinator bootstraps this mapping from
+// a shard once and then renders merged rankings without a corpus.
+func (s *System) CandidateInfos() []CandidateInfo {
+	out := make([]CandidateInfo, 0, len(s.inner.DS.Candidates))
+	for _, u := range s.inner.DS.Candidates {
+		out = append(out, CandidateInfo{ID: int32(u), Name: s.inner.DS.Graph.User(u).Name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // BestNetwork answers the paper's second question — which is the best

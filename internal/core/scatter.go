@@ -1,0 +1,178 @@
+package core
+
+// Scatter-gather support: the shard-process half of distributed
+// expert finding. A shard process owns one slice of the document
+// space (routed by index.ShardRoute) but the full social graph, so it
+// can score its slice under collection-global statistics and ship
+// matches annotated with the candidate/distance evidence the
+// coordinator needs to aggregate Eq. (3) — without the coordinator
+// ever loading a corpus. The three pieces:
+//
+//	NeedStats    per-shard local df for a need's dimensions (phase 1)
+//	ShardMatches globally-weighted matches of this shard's slice (phase 2)
+//	RankMerged   coordinator-side Eq. (3) over the k-way-merged matches
+//
+// Determinism contract: with global stats equal to the sum of every
+// shard's NeedStats, the concatenation (in scoredLess order) of all
+// shards' ShardMatches is bit-identical to a single process's
+// Matches, and RankMerged over it is bit-identical to that process's
+// Find — same plan weights, same per-document addition chains, same
+// per-expert accumulation order, same total-order sorts.
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"time"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/index"
+	"expertfind/internal/kb"
+	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
+)
+
+// EffectiveAlpha resolves the Eq. (1) weighting factor, applying the
+// paper default when Alpha was left unset.
+func (p Params) EffectiveAlpha() float64 { return p.alpha() }
+
+// EffectiveWeights resolves the per-distance wr weights, applying the
+// defaults when unset.
+func (p Params) EffectiveWeights() [3]float64 { return p.weights() }
+
+// WindowFor resolves the window size for a relevant-resource list of
+// the given length (§2.4.1), applying defaults and WindowFrac.
+func (p Params) WindowFor(matches int) int { return p.window(matches) }
+
+// NeedStats is one shard's local collection statistics restricted to
+// a need's dimensions: what the coordinator sums across shards to
+// reconstruct the global query weights.
+type NeedStats struct {
+	Docs     int
+	TermDF   map[string]int
+	EntityDF map[kb.EntityID]int
+}
+
+// NeedStats analyzes the need and reports this finder's document
+// count plus the local resource frequency of every term and entity
+// the analyzed need mentions (absent dimensions report 0 and are
+// omitted). Analysis is deterministic, so every shard derives the
+// same dimension set from the same need text.
+func (f *Finder) NeedStats(need string) NeedStats {
+	a := f.pipe.AnalyzeNeed(need)
+	st := NeedStats{
+		Docs:     f.index.NumDocs(),
+		TermDF:   make(map[string]int, len(a.Terms)),
+		EntityDF: make(map[kb.EntityID]int, len(a.Entities)),
+	}
+	for t := range a.Terms {
+		if df := f.index.DocFreq(t); df > 0 {
+			st.TermDF[t] = df
+		}
+	}
+	for e := range a.Entities {
+		if df := f.index.EntityFreq(e); df > 0 {
+			st.EntityDF[e] = df
+		}
+	}
+	return st
+}
+
+// ShardMatch is one relevant resource of a shard's slice: its Eq. (1)
+// score under global weights plus the candidate/distance pairs the
+// resource is reachable from — everything Eq. (3) needs, so the
+// coordinator can aggregate without a graph of its own. Cands
+// preserves the reachability map's deterministic order.
+type ShardMatch struct {
+	Doc   index.DocID
+	Score float64
+	Cands []socialgraph.CandidateDistance
+}
+
+// ShardMatches runs the shard-local part of a scattered query:
+// analyze the need, score this finder's document slice under the
+// supplied global collection view, restrict to resources reachable
+// from the candidate pool, and annotate each match with its
+// candidate/distance evidence. Matches come back in the global
+// ranking order (descending score, ascending doc), ready for a k-way
+// merge with the other shards' lists.
+func (f *Finder) ShardMatches(ctx context.Context, need string, p Params, st index.CollectionStats) []ShardMatch {
+	mQueries.Inc()
+	tr := telemetry.TraceFrom(ctx)
+
+	sp, t0 := tr.StartSpan("analyze"), time.Now()
+	a := f.pipe.AnalyzeNeed(need)
+	mStageSeconds.With("analyze").ObserveSince(t0)
+	sp.End()
+
+	sp, t0 = tr.StartSpan("traverse"), time.Now()
+	rcm := f.reachability(p.Traversal)
+	mStageSeconds.With("traverse").ObserveSince(t0)
+	sp.SetAttr("reachable_resources", strconv.Itoa(len(rcm)))
+	sp.End()
+
+	sp, t0 = tr.StartSpan("index_match"), time.Now()
+	scored := f.scoreStats(a, p, st)
+	out := make([]ShardMatch, 0, len(scored))
+	for _, sd := range scored {
+		if cands, ok := rcm[sd.Doc]; ok {
+			out = append(out, ShardMatch{Doc: sd.Doc, Score: sd.Score, Cands: cands})
+		}
+	}
+	mStageSeconds.With("index_match").ObserveSince(t0)
+	sp.SetAttr("matches", strconv.Itoa(len(out)))
+	sp.End()
+	return out
+}
+
+// scoreStats is score under an explicit collection view, honoring the
+// per-query worker bound when the index supports it.
+func (f *Finder) scoreStats(need analysis.Analyzed, p Params, st index.CollectionStats) []index.ScoredDoc {
+	if p.ScoreWorkers != 0 {
+		if sh, ok := f.index.(*index.Sharded); ok {
+			return sh.ScoreStatsWorkers(need, p.EffectiveAlpha(), st, p.ScoreWorkers)
+		}
+	}
+	if ss, ok := f.index.(index.StatsSearcher); ok {
+		return ss.ScoreStats(need, p.EffectiveAlpha(), st)
+	}
+	return f.index.Score(need, p.EffectiveAlpha())
+}
+
+// RankMerged is the coordinator-side Eq. (3) aggregation over the
+// k-way-merged shard matches: window truncation, per-expert score
+// accumulation weighted by distance, and the (descending score,
+// ascending user) total-order sort. It mirrors rankMatches exactly —
+// the accumulation runs in merged-match × candidate-list order, which
+// over a complete merge equals the single-process addition order —
+// so healthy-topology rankings are bit-identical to Finder.Find.
+func RankMerged(matches []ShardMatch, p Params) []ExpertScore {
+	n := p.window(len(matches))
+	if n > len(matches) {
+		n = len(matches)
+	}
+	w := p.weights()
+
+	scores := make(map[socialgraph.UserID]float64)
+	support := make(map[socialgraph.UserID]int)
+	for _, m := range matches[:n] {
+		for _, cd := range m.Cands {
+			scores[cd.Candidate] += m.Score * w[cd.Distance]
+			support[cd.Candidate]++
+		}
+	}
+
+	out := make([]ExpertScore, 0, len(scores))
+	for u, s := range scores {
+		if s > 0 {
+			out = append(out, ExpertScore{User: u, Score: s, Resources: support[u]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}

@@ -22,6 +22,18 @@ import (
 // id and scoring is insertion-order invariant, so any worker
 // interleaving builds an equivalent index.
 func BuildShardedIndex(g *socialgraph.Graph, pipe *analysis.Pipeline, shards int) (*index.Sharded, int) {
+	return BuildShardSlice(g, pipe, shards, 0, 1)
+}
+
+// BuildShardSlice is BuildShardedIndex restricted to one slice of a
+// scatter-gather topology: only the resources that index.ShardRoute
+// assigns to shard shardID of shardCount are analyzed and indexed, so
+// a shard process pays the analysis and memory cost of its slice
+// alone. shardCount <= 1 builds the whole corpus. The slice's postings
+// are identical to the corresponding subset of a full build — the
+// route is a pure function of the document id — which is what lets
+// the coordinator's merged rankings reproduce single-process output.
+func BuildShardSlice(g *socialgraph.Graph, pipe *analysis.Pipeline, shards, shardID, shardCount int) (*index.Sharded, int) {
 	n := g.NumResources()
 
 	type result struct {
@@ -43,6 +55,9 @@ func BuildShardedIndex(g *socialgraph.Graph, pipe *analysis.Pipeline, shards int
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
+				}
+				if shardCount > 1 && index.ShardRoute(socialgraph.ResourceID(i), shardCount) != shardID {
+					continue
 				}
 				r := g.Resource(socialgraph.ResourceID(i))
 				a, ok := pipe.Analyze(r.Text, r.URLs)

@@ -72,6 +72,22 @@ func BuildSystemFromDataset(ds *dataset.Dataset) *System {
 	return buildFromDataset(ds, analysis.Options{Web: ds.Web})
 }
 
+// BuildSystemFromDatasetShard builds a scatter-gather shard system:
+// the full dataset (graph, queries, ground truth) paired with an
+// index over only the document slice that index.ShardRoute assigns to
+// shard shardID of shardCount. Analysis is restricted to the slice
+// too, so an N-shard topology splits the build cost N ways.
+func BuildSystemFromDatasetShard(ds *dataset.Dataset, shardID, shardCount int) *System {
+	pipe := analysis.New(analysis.Options{Web: ds.Web})
+	ix, kept := corpusio.BuildShardSlice(ds.Graph, pipe, ds.Config.IndexShards, shardID, shardCount)
+	return &System{
+		DS:       ds,
+		Finder:   core.NewFinder(ds.Graph, ix, pipe, ds.Candidates),
+		Kept:     kept,
+		needByID: make(map[int]analysis.Analyzed),
+	}
+}
+
 // BuildSystemWithIndex assembles a system from a dataset and a
 // pre-built index (loaded from a binary segment), skipping analysis.
 // The segment is re-split into the dataset's configured shard count

@@ -1,0 +1,183 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"expertfind"
+	"expertfind/internal/scatter"
+	"expertfind/internal/telemetry"
+)
+
+// DegradedHeader flags responses computed from a partial topology.
+// Its value is "shards=<down>/<total>", so operators (and the load
+// harness) can read the blast radius straight off the response.
+const DegradedHeader = "X-Expertfind-Degraded"
+
+func degradedValue(down, total int) string {
+	return fmt.Sprintf("shards=%d/%d", down, total)
+}
+
+// CoordinatorHandler serves the public expert-finding API from a
+// scatter-gather coordinator instead of a local corpus: /v1/find fans
+// out to the shard topology and merges. It reuses the regular
+// handler's middleware chain, metrics, probes and error shapes, and
+// its healthy-topology /v1/find bodies are byte-identical to a
+// single-process server's.
+type CoordinatorHandler struct {
+	co     *scatter.Coordinator
+	mux    *http.ServeMux
+	opts   Options
+	sem    chan struct{}
+	root   http.Handler
+	tracer *telemetry.Tracer
+}
+
+// NewCoordinator returns the API handler for a coordinator process.
+func NewCoordinator(co *scatter.Coordinator, opts Options) *CoordinatorHandler {
+	h := &CoordinatorHandler{co: co, mux: http.NewServeMux(), opts: opts, tracer: opts.Tracer}
+	if h.tracer == nil {
+		h.tracer = telemetry.DefaultTracer()
+	}
+	if opts.MaxConcurrent > 0 {
+		h.sem = make(chan struct{}, opts.MaxConcurrent)
+	}
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	h.mux.HandleFunc("GET /readyz", h.ready)
+	h.mux.HandleFunc("GET /version", serveVersion)
+	h.mux.Handle("GET /metrics", telemetry.MetricsHandler(telemetry.Default()))
+	h.mux.Handle("GET /debug/traces", telemetry.TracesHandler(h.tracer))
+	h.mux.HandleFunc("GET /v1/find", h.find)
+	h.mux.HandleFunc("GET /v1/shards", h.shards)
+	h.root = buildRoot(opts, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dispatchMux(h.mux, w, r)
+	}))
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *CoordinatorHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.root.ServeHTTP(w, r)
+}
+
+// ready distinguishes three topology states: ready (every shard
+// passes its readiness probe), degraded (some but not all shards up —
+// 200, so balancers keep routing, with the degraded header and counts
+// for operators), and unavailable (no shard up, or the topology never
+// bootstrapped — 503).
+func (h *CoordinatorHandler) ready(w http.ResponseWriter, r *http.Request) {
+	up, total := h.co.Probe(r.Context())
+	if _, _, boot := h.co.Health(); !boot {
+		if err := h.co.Bootstrap(r.Context()); err != nil {
+			h.opts.writeUnavailable(w, r, "topology not bootstrapped")
+			return
+		}
+	}
+	switch {
+	case up == 0:
+		h.opts.writeUnavailable(w, r, "no shards reachable")
+	case up < total:
+		w.Header().Set(DegradedHeader, degradedValue(total-up, total))
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "degraded", "shards_up": up, "shards_total": total,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// shards reports the topology as of the latest probes: base URLs,
+// which shards are down, and whether bootstrap completed.
+func (h *CoordinatorHandler) shards(w http.ResponseWriter, r *http.Request) {
+	up, total := h.co.Probe(r.Context())
+	_, _, boot := h.co.Health()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":       h.co.ShardBases(),
+		"unready":      h.co.UnreadyShards(),
+		"shards_up":    up,
+		"shards_total": total,
+		"bootstrapped": boot,
+	})
+}
+
+// coordFindResponse is findResponse plus the degraded marker. The
+// field is omitted on healthy answers, which keeps them byte-for-byte
+// identical to a single-process /v1/find body.
+type coordFindResponse struct {
+	Need     string              `json:"need"`
+	Experts  []expertfind.Expert `json:"experts"`
+	Degraded *degradedInfo       `json:"degraded,omitempty"`
+}
+
+type degradedInfo struct {
+	ShardsDown  int `json:"shards_down"`
+	ShardsTotal int `json:"shards_total"`
+}
+
+func (h *CoordinatorHandler) find(w http.ResponseWriter, r *http.Request) {
+	if h.sem != nil {
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+		default:
+			mShed.Inc()
+			h.opts.writeUnavailable(w, r, "server overloaded")
+			return
+		}
+	}
+	need := r.URL.Query().Get("q")
+	if need == "" {
+		writeError(w, r, http.StatusBadRequest, "missing required parameter: q")
+		return
+	}
+	opts, top, err := parseOptions(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := expertfind.ResolveParams(opts...)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, tr := h.tracer.Start(r.Context(), r.Method+" "+r.URL.Path, requestID(r.Context()))
+	defer tr.Finish()
+	tr.SetAttr("q", need)
+
+	res, err := h.co.Find(ctx, need, r.URL.Query(), p)
+	if err != nil {
+		tr.SetAttr("error", err.Error())
+		var mal *scatter.MalformedError
+		switch {
+		case errors.As(err, &mal):
+			writeError(w, r, http.StatusBadGateway, err.Error())
+		case errors.Is(err, scatter.ErrNoShards), errors.Is(err, scatter.ErrNotBootstrapped):
+			h.opts.writeUnavailable(w, r, err.Error())
+		default:
+			writeError(w, r, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	experts := make([]expertfind.Expert, len(res.Experts))
+	for i, e := range res.Experts {
+		experts[i] = expertfind.Expert{
+			Name:                e.Name,
+			Score:               e.Score,
+			SupportingResources: e.SupportingResources,
+		}
+	}
+	if top > 0 && len(experts) > top {
+		experts = experts[:top]
+	}
+	resp := coordFindResponse{Need: need, Experts: experts}
+	if res.Degraded {
+		w.Header().Set(DegradedHeader, degradedValue(res.ShardsDown, res.ShardsTotal))
+		resp.Degraded = &degradedInfo{ShardsDown: res.ShardsDown, ShardsTotal: res.ShardsTotal}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

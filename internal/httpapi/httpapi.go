@@ -102,16 +102,28 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 	h.mux.HandleFunc("GET /v1/find", h.v1(h.find))
 	h.mux.HandleFunc("GET /v1/bestnetwork", h.v1(h.bestNetwork))
 	h.mux.HandleFunc("GET /v1/explain", h.v1(h.explain))
+	if opts.Shard != nil {
+		h.mux.HandleFunc("GET /v1/shard/meta", h.v1(h.shardMeta))
+		h.mux.HandleFunc("GET /v1/shard/stats", h.v1(h.shardStats))
+		h.mux.HandleFunc("POST /v1/shard/find", h.v1(h.shardFind))
+	}
 
-	var root http.Handler = withRecovery(opts.Logger, http.HandlerFunc(h.route))
+	h.root = buildRoot(opts, http.HandlerFunc(h.route))
+	return h
+}
+
+// buildRoot assembles the shared middleware chain around a dispatch
+// function: request IDs outermost, then logging, the per-request
+// deadline, and panic recovery innermost.
+func buildRoot(opts Options, route http.Handler) http.Handler {
+	root := withRecovery(opts.Logger, route)
 	if opts.RequestTimeout > 0 {
 		root = withTimeout(opts, root)
 	}
 	if opts.Logger != nil {
 		root = withLogging(opts.Logger, root)
 	}
-	h.root = withRequestID(root)
-	return h
+	return withRequestID(root)
 }
 
 // SetSystem atomically installs (or swaps) the served System. Until
@@ -142,7 +154,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the API's uniform JSON error shape while preserving the status and
 // the Allow header the mux computes.
 func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
-	handler, pattern := h.mux.Handler(r)
+	dispatchMux(h.mux, w, r)
+}
+
+// dispatchMux is the shared routing core of the API handlers (shard
+// and coordinator processes alike).
+func dispatchMux(mux *http.ServeMux, w http.ResponseWriter, r *http.Request) {
+	handler, pattern := mux.Handler(r)
 	route := routeLabel(pattern)
 	mInFlight.Inc()
 	defer mInFlight.Dec()

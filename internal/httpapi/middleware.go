@@ -38,6 +38,12 @@ type Options struct {
 	// /debug/vars. Off by default: profiling endpoints expose process
 	// internals and belong behind an operator's deliberate flag.
 	Debug bool
+	// Shard, when non-nil, mounts the scatter-gather shard endpoints
+	// (/v1/shard/meta, /v1/shard/stats, /v1/shard/find) and identifies
+	// this process's position in the topology. The regular /v1 routes
+	// stay mounted — a shard answers them over its document slice,
+	// which is useful for debugging but not globally ranked.
+	Shard *ShardOptions
 	// Cache, when non-nil, is the ranked-result cache the handler
 	// manages across corpus installs: every SetSystem attaches a fresh
 	// generation (purging the previous corpus's entries) so a swapped

@@ -99,7 +99,9 @@ type versionInfo struct {
 // version serves build and runtime identity: who is running (module,
 // version, VCS revision when built from a repository), on what Go,
 // for how long.
-func (h *Handler) version(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) version(w http.ResponseWriter, r *http.Request) { serveVersion(w, r) }
+
+func serveVersion(w http.ResponseWriter, _ *http.Request) {
 	info := versionInfo{
 		GoVersion:     runtime.Version(),
 		Start:         processStart.UTC(),

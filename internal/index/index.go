@@ -71,9 +71,20 @@ type ParallelSearcher interface {
 	NumShards() int
 }
 
+// StatsSearcher is implemented by indexes that can score under an
+// externally supplied collection view (ScoreStats); both the
+// monolithic and the sharded index qualify. The scatter serving layer
+// requires it of a shard process's index.
+type StatsSearcher interface {
+	Searcher
+	ScoreStats(need analysis.Analyzed, alpha float64, st CollectionStats) []ScoredDoc
+}
+
 var (
 	_ Searcher         = (*Index)(nil)
 	_ ParallelSearcher = (*Sharded)(nil)
+	_ StatsSearcher    = (*Index)(nil)
+	_ StatsSearcher    = (*Sharded)(nil)
 )
 
 type termPosting struct {
@@ -190,15 +201,38 @@ type ScoredDoc struct {
 	Score float64
 }
 
-// collectionStats is the collection-level view needed to weight a
+// CollectionStats is the collection-level view needed to weight a
 // query: document count and per-term/per-entity resource frequencies.
 // For a sharded index these are global (summed across shards), so the
-// same need yields the same query plan regardless of shard count.
-type collectionStats interface {
+// same need yields the same query plan regardless of shard count. The
+// scatter-gather serving layer implements it with stats summed across
+// shard processes, so a shard holding one slice of the corpus can
+// still score with collection-global weights.
+type CollectionStats interface {
 	NumDocs() int
 	DocFreq(term string) int
 	EntityFreq(e kb.EntityID) int
 }
+
+// GlobalStats is a materialized CollectionStats: document count and
+// per-dimension resource frequencies summed over a whole collection.
+// The coordinator of the scatter-gather serving layer gathers one per
+// query from its shard processes; scoring any shard slice under it
+// reproduces the exact plan weights of a single-process index.
+type GlobalStats struct {
+	Docs     int
+	TermDF   map[string]int
+	EntityDF map[kb.EntityID]int
+}
+
+// NumDocs implements CollectionStats.
+func (g GlobalStats) NumDocs() int { return g.Docs }
+
+// DocFreq implements CollectionStats.
+func (g GlobalStats) DocFreq(term string) int { return g.TermDF[term] }
+
+// EntityFreq implements CollectionStats.
+func (g GlobalStats) EntityFreq(e kb.EntityID) int { return g.EntityDF[e] }
 
 // plannedTerm / plannedEntity carry one query dimension with its
 // collection weight fully resolved (α·irf² resp. (1−α)·eirf²).
@@ -224,7 +258,7 @@ type queryPlan struct {
 	entities []plannedEntity
 }
 
-func planQuery(need analysis.Analyzed, alpha float64, st collectionStats) queryPlan {
+func planQuery(need analysis.Analyzed, alpha float64, st CollectionStats) queryPlan {
 	var plan queryPlan
 	n := st.NumDocs()
 
@@ -323,7 +357,17 @@ func scoredLess(a, b ScoredDoc) bool {
 // alpha balances textual term matching (alpha = 1) against entity
 // matching (alpha = 0); the paper settles on alpha = 0.6 (§3.3.2).
 func (ix *Index) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
-	out, postings := ix.scorePlan(planQuery(need, alpha, ix))
+	return ix.ScoreStats(need, alpha, ix)
+}
+
+// ScoreStats is Score with the query planned against an explicit
+// collection view instead of this index's own statistics. The scatter
+// serving layer uses it to score one shard slice under global
+// (cross-process) weights: with st equal to the stats of the full
+// collection, per-document scores are bit-identical to scoring the
+// whole collection in one process.
+func (ix *Index) ScoreStats(need analysis.Analyzed, alpha float64, st CollectionStats) []ScoredDoc {
+	out, postings := ix.scorePlan(planQuery(need, alpha, st))
 	mQueries.Inc()
 	mPostings.Add(float64(postings))
 	mMatches.Add(float64(len(out)))

@@ -100,18 +100,25 @@ func NewShardedFromIndex(ix *Index, n int) *Sharded {
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// shardFor routes a document to its shard. The mix function
+// ShardRoute routes a document to one of n shards. The mix function
 // (splitmix64 finalizer) decorrelates the route from sequential id
-// patterns; it is a pure function of the id, so the layout is stable
-// across processes and merges of equal shard counts stay aligned.
-func (s *Sharded) shardFor(d DocID) int {
+// patterns; it is a pure function of (id, n), so the layout is stable
+// across processes — the scatter-gather serving layer relies on this
+// to split one corpus across shard processes and know, without
+// coordination, which process owns any document.
+func ShardRoute(d DocID, n int) int {
 	h := uint64(uint32(d))
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 33
-	return int(h % uint64(len(s.shards)))
+	return int(h % uint64(n))
+}
+
+// shardFor routes a document to its in-process shard via ShardRoute.
+func (s *Sharded) shardFor(d DocID) int {
+	return ShardRoute(d, len(s.shards))
 }
 
 // Add indexes an analyzed resource under id, locking only the one
@@ -270,12 +277,26 @@ func (s *Sharded) Score(need analysis.Analyzed, alpha float64) []ScoredDoc {
 	return s.ScoreWorkers(need, alpha, 0)
 }
 
+// ScoreStats is Index.ScoreStats for the sharded index (pool-default
+// worker bound), satisfying StatsSearcher.
+func (s *Sharded) ScoreStats(need analysis.Analyzed, alpha float64, st CollectionStats) []ScoredDoc {
+	return s.ScoreStatsWorkers(need, alpha, st, 0)
+}
+
 // ScoreWorkers is Score with an explicit worker bound: 0 selects the
 // pool default (min(shards, GOMAXPROCS at construction)), 1 scores
 // shards sequentially, higher values allow up to that many concurrent
 // shard scorers (never more than one per shard).
 func (s *Sharded) ScoreWorkers(need analysis.Analyzed, alpha float64, workers int) []ScoredDoc {
-	plan := planQuery(need, alpha, s)
+	return s.ScoreStatsWorkers(need, alpha, s, workers)
+}
+
+// ScoreStatsWorkers is ScoreWorkers with the query planned against an
+// explicit collection view (see Index.ScoreStats): the scatter layer
+// plans against cross-process global statistics while each shard
+// process scores only its own slice.
+func (s *Sharded) ScoreStatsWorkers(need analysis.Analyzed, alpha float64, st CollectionStats, workers int) []ScoredDoc {
+	plan := planQuery(need, alpha, st)
 
 	n := len(s.shards)
 	if workers <= 0 {

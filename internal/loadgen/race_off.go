@@ -1,0 +1,6 @@
+//go:build !race
+
+package loadgen
+
+// RaceEnabled reports whether this binary was built with -race.
+const RaceEnabled = false

@@ -50,8 +50,10 @@ func NewBreaker(p BreakerPolicy, clock *Clock) *Breaker {
 }
 
 // Allow reports whether a call may proceed. While open and cooling
-// down it returns false; after the cooldown it admits calls as probes
-// until one of them reports an outcome.
+// down it returns false; after the cooldown exactly one caller is
+// admitted as the half-open probe — concurrent callers keep being
+// rejected until that probe reports an outcome, so a recovering
+// backend sees a single trial request instead of a thundering herd.
 func (b *Breaker) Allow() bool {
 	if b == nil || b.policy.Threshold <= 0 {
 		return true
@@ -61,8 +63,19 @@ func (b *Breaker) Allow() bool {
 	if !b.open {
 		return true
 	}
-	if b.clock.Now().Before(b.openUntil) {
+	now := b.clock.Now()
+	if now.Before(b.openUntil) {
 		return false
+	}
+	if b.probing {
+		// A probe is already in flight; reject concurrent callers until
+		// it reports. If its outcome never arrives (caller lost), admit
+		// a fresh probe after another full cooldown rather than wedging
+		// the breaker open forever.
+		if now.Before(b.openUntil.Add(b.policy.Cooldown)) {
+			return false
+		}
+		b.openUntil = now
 	}
 	b.probing = true
 	return true

@@ -171,6 +171,52 @@ func TestBreakerTripAndRecover(t *testing.T) {
 	}
 }
 
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clock := NewClock()
+	b := NewBreaker(BreakerPolicy{Threshold: 1, Cooldown: time.Second}, clock)
+	b.Failure()
+	clock.Sleep(time.Second)
+	// After the cooldown, exactly one waiter becomes the probe;
+	// everyone else keeps being rejected until it reports.
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	for i := 0; i < 5; i++ {
+		if b.Allow() {
+			t.Fatalf("breaker admitted concurrent probe %d while one was in flight", i)
+		}
+	}
+	b.Success()
+	if !b.Allow() {
+		t.Fatal("breaker not closed after the probe succeeded")
+	}
+
+	// A failing probe re-trips: still exactly one probe per cooldown.
+	b.Failure()
+	clock.Sleep(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker admitted a call right after a failed probe")
+	}
+
+	// Lost-probe guard: a probe that never reports frees the slot
+	// after one further cooldown instead of wedging the breaker.
+	clock.Sleep(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the post-retrip probe")
+	}
+	clock.Sleep(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker never re-admitted a probe after the first was lost")
+	}
+}
+
 func TestBreakerDisabled(t *testing.T) {
 	b := NewBreaker(BreakerPolicy{}, NewClock())
 	for i := 0; i < 10; i++ {

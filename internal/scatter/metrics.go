@@ -1,0 +1,38 @@
+package scatter
+
+import "expertfind/internal/telemetry"
+
+// Fan-out metrics. Shard labels are the decimal shard id; phase is
+// "meta", "stats" or "find".
+var (
+	mShardSeconds = telemetry.Default().HistogramVec(
+		"expertfind_scatter_shard_request_seconds",
+		"Wall time of coordinator→shard calls, retries and hedges included.",
+		nil, "shard", "phase")
+	mShardErrors = telemetry.Default().CounterVec(
+		"expertfind_scatter_shard_errors_total",
+		"Coordinator→shard calls that failed after retries (the shard is dropped from the query).",
+		"shard", "phase")
+	mRetries = telemetry.Default().CounterVec(
+		"expertfind_scatter_retries_total",
+		"Coordinator→shard attempt retries after transient failures.",
+		"shard")
+	mHedgesFired = telemetry.Default().CounterVec(
+		"expertfind_scatter_hedges_fired_total",
+		"Hedged second requests launched after a shard call outlived its latency-quantile trigger.",
+		"shard")
+	mHedgesWon = telemetry.Default().CounterVec(
+		"expertfind_scatter_hedges_won_total",
+		"Hedged requests that finished before the primary they backed up.",
+		"shard")
+	mBreakerOpen = telemetry.Default().GaugeVec(
+		"expertfind_scatter_breaker_open",
+		"Whether the per-shard circuit breaker is open (1) or closed (0).",
+		"shard")
+	mDegradedQueries = telemetry.Default().Counter(
+		"expertfind_scatter_degraded_queries_total",
+		"Queries answered from a partial topology (one or more shards dropped).")
+	mShardsDown = telemetry.Default().Gauge(
+		"expertfind_scatter_shards_down",
+		"Shards failing their readiness probe, per the coordinator health loop.")
+)
