@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos loadtest-cached loadtest-scatter docs-check check clean
+.PHONY: all build fmt vet test race race-stress fuzz-smoke cover-check bench-smoke loadtest-smoke loadtest-chaos loadtest-cached loadtest-scatter docs-check logcheck check clean
 
 all: check
 
@@ -88,6 +88,20 @@ loadtest-cached:
 loadtest-scatter:
 	$(GO) run ./cmd/loadtest -scatter -scale 0.05 -stamp=false -out BENCH_6.run.json
 
+# logcheck enforces the structured-logging contract: the serving,
+# scatter and crawler layers log through log/slog only — a stdlib
+# "log" import there regresses the structured access/ops logs.
+# (cmd/loadtest and the examples are exempt: they are CLI harnesses
+# whose plain log output is their user interface, not ops telemetry.)
+LOGCHECK_DIRS = internal/httpapi internal/scatter internal/slo \
+	internal/telemetry internal/crawler cmd/serve cmd/coordinator
+logcheck:
+	@bad=$$(grep -rn --include='*.go' --exclude='*_test.go' '"log"$$' $(LOGCHECK_DIRS)); \
+	if [ -n "$$bad" ]; then \
+		echo "stdlib log import in slog-converted packages:"; echo "$$bad"; exit 1; \
+	fi; \
+	echo "logcheck: converted packages log through log/slog only"
+
 # docs-check enforces the documentation contract: every package
 # carries a package doc comment, and the metrics reference table in
 # OPERATIONS.md matches the telemetry registry (regenerate with
@@ -100,7 +114,7 @@ docs-check:
 # race-enabled test suite (which subsumes the plain one), the bench
 # smoke, the load-test SLO and cache gates, the coverage floors, and
 # the documentation gates.
-check: fmt vet build race bench-smoke loadtest-smoke loadtest-cached loadtest-scatter cover-check docs-check
+check: fmt vet build race bench-smoke loadtest-smoke loadtest-cached loadtest-scatter cover-check docs-check logcheck
 
 clean:
 	$(GO) clean ./...

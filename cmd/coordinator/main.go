@@ -11,6 +11,9 @@
 //	            [-addr :8080] [-shard-timeout D] [-request-timeout D]
 //	            [-max-concurrent N] [-retry-after D] [-hedge-disable]
 //	            [-health-interval D]
+//	            [-log-format text|json] [-log-level L] [-log-stamp=false]
+//	            [-slo-latency D] [-slo-availability F] [-slo-window D]
+//	            [-slo-burn-alert F] [-pprof-dir DIR]
 //
 // Shard URL position defines the shard id: the i-th URL must be the
 // process started with -shard-id i -shard-count len(urls).
@@ -21,12 +24,21 @@
 // queries: responses carry the X-Expertfind-Degraded header and a
 // "degraded" JSON field instead of failing, and /readyz reports
 // "degraded" while part of the topology is away.
+//
+// Observability: logs are structured (log/slog, -log-format/-log-level,
+// -log-stamp=false for byte-deterministic output); /v1 traffic feeds
+// the expertfind_slo_* burn-rate gauges (with rate-limited pprof
+// captures into -pprof-dir on breach); /debug/traces/{rid} serves the
+// assembled cross-process timeline of one query, stitching the span
+// snapshots fetched from every shard under the coordinator's fan-out
+// spans, and /debug/slow lists the tail-sampled retained traces.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +48,8 @@ import (
 
 	"expertfind/internal/httpapi"
 	"expertfind/internal/scatter"
+	"expertfind/internal/slo"
+	"expertfind/internal/telemetry"
 )
 
 func main() {
@@ -47,7 +61,27 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
 	hedgeDisable := flag.Bool("hedge-disable", false, "disable hedged second requests")
 	healthInterval := flag.Duration("health-interval", time.Second, "shard readiness probe interval")
+	logFormat := flag.String("log-format", "text", "log record format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logStamp := flag.Bool("log-stamp", true, "timestamp log records (false for byte-deterministic output)")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "latency objective for /v1 requests (also the slow-trace keep threshold)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective (target non-5xx ratio)")
+	sloWindow := flag.Duration("slo-window", 5*time.Minute, "sliding window for SLO burn rates")
+	sloBurnAlert := flag.Float64("slo-burn-alert", 4, "burn rate that triggers an on-breach profile capture")
+	pprofDir := flag.String("pprof-dir", "", "directory for on-breach pprof captures (empty disables capturing)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, telemetry.LogConfig{
+		Format: *logFormat, Level: *logLevel, NoStamp: !*logStamp,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coordinator: %v\n", err)
+		os.Exit(1)
+	}
+	fatalf := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var bases []string
 	for _, s := range strings.Split(*shards, ",") {
@@ -56,7 +90,7 @@ func main() {
 		}
 	}
 	if len(bases) == 0 {
-		log.Fatal("coordinator: -shards is required")
+		fatalf("-shards is required")
 	}
 
 	co, err := scatter.New(scatter.Options{
@@ -64,17 +98,34 @@ func main() {
 		ShardTimeout:   *shardTimeout,
 		Hedge:          scatter.HedgePolicy{Disable: *hedgeDisable},
 		HealthInterval: *healthInterval,
-		Logger:         log.Default(),
+		Logger:         logger,
 	})
 	if err != nil {
-		log.Fatalf("coordinator: %v", err)
+		fatalf("bad topology", "err", err.Error())
 	}
+
+	tracker := slo.New(slo.Config{
+		Availability: *sloAvail,
+		Latency:      *sloLatency,
+		Window:       *sloWindow,
+		BurnAlert:    *sloBurnAlert,
+		ProfileDir:   *pprofDir,
+		Logger:       logger,
+	})
+	// Slow traces are defined by the latency objective: anything that
+	// breaches it is retained in the tracer's keep ring.
+	tracer := telemetry.DefaultTracer()
+	policy := tracer.KeepPolicy()
+	policy.SlowThreshold = tracker.Latency()
+	tracer.SetKeepPolicy(policy)
 
 	handler := httpapi.NewCoordinator(co, httpapi.Options{
 		RequestTimeout: *reqTimeout,
 		MaxConcurrent:  *maxConc,
 		RetryAfter:     *retryAfter,
-		Logger:         log.Default(),
+		Logger:         logger,
+		Tracer:         tracer,
+		SLO:            tracker,
 	})
 
 	// Background health loop: bootstrap retries until the topology is
@@ -95,6 +146,7 @@ func main() {
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
 	}
 
 	idle := make(chan struct{})
@@ -102,19 +154,18 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("coordinator: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("coordinator: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err.Error())
 		}
 		close(idle)
 	}()
 
-	log.Printf("coordinating %d shards on %s", len(bases), *addr)
+	logger.Info("coordinating", "shards", len(bases), "addr", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Printf("coordinator: listen: %v", err)
-		os.Exit(1)
+		fatalf("listen failed", "err", err.Error())
 	}
 	<-idle
 }

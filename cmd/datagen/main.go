@@ -8,12 +8,15 @@
 //	        [-save corpus.json.gz] [-load corpus.json.gz]
 //	        [-fault-transient F] [-fault-ratelimit F] [-fault-seed N]
 //	        [-fault-outages net,net] [-retries N]
+//	        [-log-format text|json] [-log-level L]
 //
 // When any -fault-* flag is set, the corpus is re-crawled through the
 // fault-injecting platform API (internal/faults) and the degraded
 // view replaces the pristine graph — so saved snapshots and printed
 // statistics reflect what a crawler facing flaky APIs would obtain.
-// -retries enables the retry/breaker stack during that crawl.
+// -retries enables the retry/breaker stack during that crawl; the
+// crawl emits structured log records (breaker transitions, final
+// summary) to stderr, shaped by -log-format and -log-level.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"expertfind/internal/faults"
 	"expertfind/internal/kb"
 	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
 )
 
 // jsonResource is the dump format of one resource.
@@ -73,7 +77,15 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 23, "fault injection seed")
 	faultOutages := flag.String("fault-outages", "", "comma-separated networks that are hard down (facebook,twitter,linkedin)")
 	retries := flag.Int("retries", 0, "max attempts per API call during the faulted crawl (0 = no retries)")
+	logFormat := flag.String("log-format", "text", "crawl log record format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum crawl log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, telemetry.LogConfig{Format: *logFormat, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(2)
+	}
 
 	t0 := time.Now()
 	var ds *dataset.Dataset
@@ -112,6 +124,7 @@ func main() {
 			res = crawler.DefaultResilience
 			res.Retry.MaxAttempts = *retries
 		}
+		res.Logger = logger
 		crawled, st := crawler.CrawlAPI(faults.Wrap(ds.Graph, cfg), crawler.FullAccess, res)
 		fmt.Printf("faulted crawl: %d/%d resources recovered (%d calls, %d failed, %d retries, %d gave up, %d breaker trips)\n",
 			crawled.NumResources(), ds.Graph.NumResources(),

@@ -8,6 +8,7 @@ package main
 // baseline before and after the chaos.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -15,6 +16,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -57,14 +59,20 @@ func runScatter(o *options) int {
 	if o.scatterVerbose {
 		logf = log.Printf
 	}
+	// Shards run with a 1ns latency objective: every request breaches
+	// it, so the run doubles as the induced-SLO-breach scenario — each
+	// shard must capture exactly one (rate-limited) pprof snapshot.
+	pprofDir := filepath.Join(dir, "pprof")
 	cl, err := loadgen.StartScatter(loadgen.ScatterConfig{
-		ServeBin:    serveBin,
-		CoordBin:    coordBin,
-		Shards:      o.scatterShards,
-		CorpusSeed:  o.corpusSeed,
-		Scale:       o.scale,
-		IndexShards: o.indexShards,
-		Logf:        logf,
+		ServeBin:        serveBin,
+		CoordBin:        coordBin,
+		Shards:          o.scatterShards,
+		CorpusSeed:      o.corpusSeed,
+		Scale:           o.scale,
+		IndexShards:     o.indexShards,
+		ShardSLOLatency: time.Nanosecond,
+		ShardPprofDir:   pprofDir,
+		Logf:            logf,
 	})
 	if err != nil {
 		log.Fatalf("start cluster: %v", err)
@@ -107,6 +115,15 @@ func runScatter(o *options) int {
 	code |= scatterPhaseGate(&results[1])
 	code |= scatterDegradedGate(cl, paths[0], o.scatterShards)
 
+	// Observability gates, part 1: pin a degraded query to a known
+	// request id and demand the coordinator serve its assembled
+	// cross-process timeline — coordinator gather/merge spans plus
+	// spans from every surviving shard process.
+	const traceRID = "loadtest-scatter-trace-1"
+	code |= scatterTraceQuery(cl.CoordinatorURL()+paths[0], traceRID)
+	code |= scatterAssemblyGate("degraded", cl.CoordinatorURL(), traceRID, o.scatterShards-1, 10*time.Second)
+	code |= scatterSLOGate(cl)
+
 	// Recovery: a replacement shard on the original port. Once its
 	// slice is built and the breaker's cooldown lapses, responses must
 	// drop the degraded flag and match the baseline byte for byte.
@@ -124,6 +141,15 @@ func runScatter(o *options) int {
 	results = append(results, runner.Run(phase("scatter-recovered"))...)
 	code |= scatterPhaseGate(&results[2])
 	code |= scatterDiffGate("recovered", baseURL, cl.CoordinatorURL(), paths)
+
+	// Observability gates, part 2: the recovered phase just pushed
+	// o.scatterReq fast-OK queries through the coordinator's recent
+	// ring — more than its capacity — yet the pinned degraded timeline
+	// must still be retrievable (tail-based retention), and each
+	// surviving shard's induced latency breach must have produced
+	// exactly one rate-limited pprof capture.
+	code |= scatterAssemblyGate("retained", cl.CoordinatorURL(), traceRID, o.scatterShards-1, 5*time.Second)
+	code |= scatterCaptureGate(cl, pprofDir, o.scatterShards)
 
 	st := sys.Stats()
 	rep := &loadgen.Report{
@@ -151,7 +177,8 @@ func runScatter(o *options) int {
 	log.Printf("wrote %s", out)
 	printSummary(rep)
 	if code == 0 {
-		log.Printf("scatter gates passed: merged bytes match single process, chaos degraded %d shard without failing queries", 1)
+		log.Printf("scatter gates passed: merged bytes match single process, chaos degraded %d shard without failing queries, "+
+			"assembled timeline retained through ring rotation, SLO breach captured one profile per shard", 1)
 	}
 	return code
 }
@@ -248,6 +275,163 @@ func scatterPhaseGate(p *loadgen.PhaseResult) int {
 		code = 1
 	}
 	return code
+}
+
+// scatterTraceQuery issues one degraded query pinned to a known
+// request id, so the trace-assembly gates have a deterministic handle
+// into /debug/traces/{rid}.
+func scatterTraceQuery(url, rid string) int {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Printf("SCATTER GATE (trace): %v", err)
+		return 1
+	}
+	req.Header.Set("X-Request-ID", rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Printf("SCATTER GATE (trace): pinned query: %v", err)
+		return 1
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(httpapi.DegradedHeader) == "" {
+		log.Printf("SCATTER GATE (trace): pinned query status=%d degraded=%q, want 200 with degraded header",
+			resp.StatusCode, resp.Header.Get(httpapi.DegradedHeader))
+		return 1
+	}
+	return 0
+}
+
+// assembledView is the slice of scatter.AssembledTrace the gates
+// inspect.
+type assembledView struct {
+	ID             string `json:"id"`
+	ShardProcesses int    `json:"shard_processes"`
+	Spans          []struct {
+		Process string `json:"process"`
+		Name    string `json:"name"`
+	} `json:"spans"`
+}
+
+// scatterAssemblyGate polls the coordinator's /debug/traces/{rid}
+// until it serves one stitched timeline with spans from at least
+// minShards shard processes plus the coordinator's own gather and
+// merge spans.
+func scatterAssemblyGate(label, coordURL, rid string, minShards int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		status, body := scatterGET(coordURL + "/debug/traces/" + rid)
+		if status != http.StatusOK {
+			last = fmt.Sprintf("HTTP %d: %s", status, body)
+		} else {
+			var v assembledView
+			if err := json.Unmarshal([]byte(body), &v); err != nil {
+				last = fmt.Sprintf("bad timeline JSON: %v", err)
+			} else if miss := assemblyMissing(v, rid, minShards); miss != "" {
+				last = miss
+			} else {
+				log.Printf("trace gate (%s): /debug/traces/%s stitched %d spans across coordinator + %d shard processes",
+					label, rid, len(v.Spans), v.ShardProcesses)
+				return 0
+			}
+		}
+		if !time.Now().Before(deadline) {
+			log.Printf("SCATTER GATE (trace %s): no assembled timeline for %s after %v: %s", label, rid, timeout, last)
+			return 1
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// assemblyMissing reports what an assembled timeline still lacks, or
+// "" when it satisfies the gate.
+func assemblyMissing(v assembledView, rid string, minShards int) string {
+	if v.ID != rid {
+		return fmt.Sprintf("timeline id = %q, want %q", v.ID, rid)
+	}
+	if v.ShardProcesses < minShards {
+		return fmt.Sprintf("spans from %d shard processes, want >= %d", v.ShardProcesses, minShards)
+	}
+	coordSpans := map[string]bool{}
+	shardSpans := 0
+	for _, sp := range v.Spans {
+		if sp.Process == "coordinator" {
+			coordSpans[sp.Name] = true
+		} else if strings.HasPrefix(sp.Process, "shard") {
+			shardSpans++
+		}
+	}
+	for _, want := range []string{"gather stats", "gather find", "merge"} {
+		if !coordSpans[want] {
+			return fmt.Sprintf("missing coordinator %q span", want)
+		}
+	}
+	if shardSpans == 0 {
+		return "no shard-process spans"
+	}
+	return ""
+}
+
+// scatterSLOGate asserts the SLO burn-rate surface is live on the
+// coordinator's /metrics after the load phases.
+func scatterSLOGate(cl *loadgen.ScatterCluster) int {
+	code := 0
+	n, ok, err := cl.Metric("expertfind_slo_requests_total")
+	if err != nil || !ok || n < 1 {
+		log.Printf("SCATTER GATE (slo): expertfind_slo_requests_total = %v (ok=%v, err=%v), want >= 1", n, ok, err)
+		code = 1
+	}
+	for _, name := range []string{"expertfind_slo_objective", "expertfind_slo_burn_rate"} {
+		if _, ok, err := cl.Metric(name); err != nil || !ok {
+			log.Printf("SCATTER GATE (slo): %s missing from /metrics (ok=%v, err=%v)", name, ok, err)
+			code = 1
+		}
+	}
+	if code == 0 {
+		log.Printf("slo gate: %0.f requests tracked, burn-rate and objective gauges exported", n)
+	}
+	return code
+}
+
+// scatterCaptureGate asserts the induced latency breach (the shards'
+// 1ns objective) produced exactly one rate-limited pprof capture per
+// shard process, with profile files on disk. The restarted victim is
+// a fresh process that re-breaches during the recovered phase, so it
+// is held to the same count.
+func scatterCaptureGate(cl *loadgen.ScatterCluster, dir string, shards int) int {
+	code := 0
+	for i := 0; i < shards; i++ {
+		n, ok, err := cl.ShardMetric(i, "expertfind_slo_pprof_captures_total")
+		if err != nil || !ok || n != 1 {
+			log.Printf("SCATTER GATE (pprof): shard %d captures = %v (ok=%v, err=%v), want exactly 1", i, n, ok, err)
+			code = 1
+		}
+		if err := waitProfileFiles(filepath.Join(dir, fmt.Sprintf("shard%d", i)), 3*time.Second); err != nil {
+			log.Printf("SCATTER GATE (pprof): shard %d: %v", i, err)
+			code = 1
+		}
+	}
+	if code == 0 {
+		log.Printf("pprof gate: induced latency breach captured exactly one profile pair per shard process")
+	}
+	return code
+}
+
+// waitProfileFiles polls dir until it holds at least one pprof file —
+// the CPU half of a capture lands a few hundred ms after the breach.
+func waitProfileFiles(dir string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		entries, err := os.ReadDir(dir)
+		if err == nil && len(entries) > 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("no pprof capture files in %s after %v (err=%v)", dir, timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // waitNonDegraded polls until a find answers without the degraded

@@ -37,6 +37,7 @@ import (
 	_ "expertfind/internal/index"
 	_ "expertfind/internal/rescache"
 	_ "expertfind/internal/scatter"
+	_ "expertfind/internal/slo"
 	_ "expertfind/internal/socialgraph"
 )
 

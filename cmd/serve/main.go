@@ -7,6 +7,9 @@
 //	      [-index-shards N] [-request-timeout D] [-max-concurrent N]
 //	      [-retry-after D] [-cache-size N] [-cache-ttl D] [-debug]
 //	      [-shard-id N -shard-count N]
+//	      [-log-format text|json] [-log-level L] [-log-stamp=false]
+//	      [-slo-latency D] [-slo-availability F] [-slo-window D]
+//	      [-slo-burn-alert F] [-pprof-dir DIR]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
@@ -31,14 +34,22 @@
 // rankings.
 //
 // Observability: /metrics serves Prometheus text, /debug/traces the
-// recent query traces, /version the build identity. -debug
+// recent query traces (with /debug/traces/{rid} lookup by request id
+// and /debug/slow listing the tail-sampled slow/errored retained
+// traces), /version the build identity. Logs are structured
+// (log/slog): -log-format selects text or json, -log-level the floor,
+// -log-stamp=false drops timestamps for byte-deterministic output.
+// Every /v1 request feeds the expertfind_slo_* burn-rate gauges; when
+// the -slo-burn-alert threshold is crossed and -pprof-dir is set, a
+// heap+CPU profile pair is captured there (rate-limited). -debug
 // additionally mounts net/http/pprof and expvar under /debug/.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +59,8 @@ import (
 	"expertfind"
 	"expertfind/internal/httpapi"
 	"expertfind/internal/rescache"
+	"expertfind/internal/slo"
+	"expertfind/internal/telemetry"
 )
 
 func main() {
@@ -64,24 +77,65 @@ func main() {
 	debugEndpoints := flag.Bool("debug", false, "mount pprof and expvar under /debug/")
 	shardID := flag.Int("shard-id", 0, "this process's shard number in a scatter-gather topology (with -shard-count)")
 	shardCount := flag.Int("shard-count", 0, "scatter-gather topology size; >= 1 serves only this shard's document slice and mounts /v1/shard/*")
+	logFormat := flag.String("log-format", "text", "log record format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logStamp := flag.Bool("log-stamp", true, "timestamp log records (false for byte-deterministic output)")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "latency objective for /v1 requests (also the slow-trace keep threshold)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective (target non-5xx ratio)")
+	sloWindow := flag.Duration("slo-window", 5*time.Minute, "sliding window for SLO burn rates")
+	sloBurnAlert := flag.Float64("slo-burn-alert", 4, "burn rate that triggers an on-breach profile capture")
+	pprofDir := flag.String("pprof-dir", "", "directory for on-breach pprof captures (empty disables capturing)")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, telemetry.LogConfig{
+		Format: *logFormat, Level: *logLevel, NoStamp: !*logStamp,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	fatalf := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var shard *httpapi.ShardOptions
 	if *shardCount > 0 {
 		if *shardID < 0 || *shardID >= *shardCount {
-			log.Fatalf("serve: -shard-id %d outside [0,%d)", *shardID, *shardCount)
+			fatalf("shard id outside topology", "shard_id", *shardID, "shard_count", *shardCount)
 		}
 		shard = &httpapi.ShardOptions{ID: *shardID, Count: *shardCount}
+		// Every record from a shard process carries its topology
+		// position, so interleaved multi-process logs stay attributable.
+		logger = logger.With("shard", *shardID)
 	}
 	var cache *rescache.Cache
 	if *cacheSize > 0 {
 		cache = rescache.New(rescache.Options{Capacity: *cacheSize, TTL: *cacheTTL})
 	}
+
+	tracker := slo.New(slo.Config{
+		Availability: *sloAvail,
+		Latency:      *sloLatency,
+		Window:       *sloWindow,
+		BurnAlert:    *sloBurnAlert,
+		ProfileDir:   *pprofDir,
+		Logger:       logger,
+	})
+	// Slow traces are defined by the latency objective: anything that
+	// breaches it is retained in the tracer's keep ring.
+	tracer := telemetry.DefaultTracer()
+	policy := tracer.KeepPolicy()
+	policy.SlowThreshold = tracker.Latency()
+	tracer.SetKeepPolicy(policy)
+
 	handler := httpapi.NewWithOptions(nil, httpapi.Options{
 		RequestTimeout: *reqTimeout,
 		MaxConcurrent:  *maxConc,
 		RetryAfter:     *retryAfter,
-		Logger:         log.Default(),
+		Logger:         logger,
+		Tracer:         tracer,
+		SLO:            tracker,
 		Debug:          *debugEndpoints,
 		Cache:          cache,
 		Shard:          shard,
@@ -108,15 +162,19 @@ func main() {
 			sys = expertfind.NewSystem(cfg)
 		}
 		if err != nil {
-			log.Fatalf("serve: corpus: %v", err)
+			fatalf("corpus build failed", "err", err.Error())
 		}
 		st := sys.Stats()
 		if shard != nil {
-			log.Printf("shard %d/%d ready in %v: %d candidates, %d resources in slice",
-				shard.ID, shard.Count, time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed)
+			logger.Info("shard ready",
+				"shard_count", shard.Count,
+				"build_time", time.Since(t0).Round(time.Millisecond).String(),
+				"candidates", st.Candidates, "resources", st.Indexed)
 		} else {
-			log.Printf("corpus ready in %v: %d candidates, %d/%d resources indexed across %d shards",
-				time.Since(t0).Round(time.Millisecond), st.Candidates, st.Indexed, st.Resources, st.IndexShards)
+			logger.Info("corpus ready",
+				"build_time", time.Since(t0).Round(time.Millisecond).String(),
+				"candidates", st.Candidates, "indexed", st.Indexed,
+				"resources", st.Resources, "index_shards", st.IndexShards)
 		}
 		handler.SetSystem(sys)
 	}()
@@ -134,6 +192,7 @@ func main() {
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      writeTimeout,
 		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
 	}
 
 	// Drain in-flight requests on SIGINT/SIGTERM.
@@ -142,19 +201,18 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("serve: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("serve: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err.Error())
 		}
 		close(idle)
 	}()
 
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Printf("serve: listen: %v", err)
-		os.Exit(1)
+		fatalf("listen failed", "err", err.Error())
 	}
 	<-idle
 }

@@ -21,6 +21,7 @@ package crawler
 
 import (
 	"errors"
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -126,6 +127,10 @@ type Resilience struct {
 	// virtual clock (the crawl simulates waiting instead of sleeping,
 	// so heavily-faulted sweeps still run in milliseconds).
 	Clock *resilience.Clock
+	// Logger, when set, receives structured crawl events: breaker
+	// transitions per network as they happen and a summary record when
+	// the crawl finishes. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // DefaultResilience is the stack the commands enable with -retries:
@@ -214,8 +219,14 @@ func CrawlAPI(api faults.API, policy Policy, res Resilience) (*socialgraph.Graph
 				br.OnStateChange = func(open bool) {
 					if open {
 						g.Set(1)
+						if res.Logger != nil {
+							res.Logger.Warn("crawler breaker opened", "network", string(net))
+						}
 					} else {
 						g.Set(0)
+						if res.Logger != nil {
+							res.Logger.Info("crawler breaker closed", "network", string(net))
+						}
 					}
 				}
 				c.breakers[net] = br
@@ -227,6 +238,18 @@ func CrawlAPI(api faults.API, policy Policy, res Resilience) (*socialgraph.Graph
 		c.stats.BreakerTrips += br.Trips()
 	}
 	c.stats.record()
+	if res.Logger != nil {
+		res.Logger.Info("crawl finished",
+			"api_calls", c.stats.APICalls,
+			"failed_calls", c.stats.FailedCalls,
+			"retries", c.stats.Retries,
+			"gave_up", c.stats.GaveUp,
+			"breaker_trips", c.stats.BreakerTrips,
+			"users_visited", c.stats.UsersVisited,
+			"users_denied", c.stats.UsersDenied,
+			"resources_copied", c.stats.ResourcesCopied,
+			"waited", c.stats.Waited.String())
+	}
 	return c.out, c.stats
 }
 

@@ -1,9 +1,13 @@
 package httpapi
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"time"
 
 	"expertfind"
 	"expertfind/internal/scatter"
@@ -32,11 +36,15 @@ type CoordinatorHandler struct {
 	sem    chan struct{}
 	root   http.Handler
 	tracer *telemetry.Tracer
+	asm    *assemblyCache
 }
 
 // NewCoordinator returns the API handler for a coordinator process.
 func NewCoordinator(co *scatter.Coordinator, opts Options) *CoordinatorHandler {
-	h := &CoordinatorHandler{co: co, mux: http.NewServeMux(), opts: opts, tracer: opts.Tracer}
+	h := &CoordinatorHandler{
+		co: co, mux: http.NewServeMux(), opts: opts, tracer: opts.Tracer,
+		asm: newAssemblyCache(64),
+	}
 	if h.tracer == nil {
 		h.tracer = telemetry.DefaultTracer()
 	}
@@ -50,10 +58,14 @@ func NewCoordinator(co *scatter.Coordinator, opts Options) *CoordinatorHandler {
 	h.mux.HandleFunc("GET /version", serveVersion)
 	h.mux.Handle("GET /metrics", telemetry.MetricsHandler(telemetry.Default()))
 	h.mux.Handle("GET /debug/traces", telemetry.TracesHandler(h.tracer))
+	h.mux.HandleFunc("GET /debug/traces/{rid}", h.traceByID)
+	h.mux.HandleFunc("GET /debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		serveSlow(h.tracer, w, r)
+	})
 	h.mux.HandleFunc("GET /v1/find", h.find)
 	h.mux.HandleFunc("GET /v1/shards", h.shards)
 	h.root = buildRoot(opts, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		dispatchMux(h.mux, w, r)
+		dispatchMux(h.mux, opts.SLO, w, r)
 	}))
 	return h
 }
@@ -145,12 +157,22 @@ func (h *CoordinatorHandler) find(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx, tr := h.tracer.Start(r.Context(), r.Method+" "+r.URL.Path, requestID(r.Context()))
-	defer tr.Finish()
+	defer func() {
+		tr.Finish()
+		// An interesting query (degraded, errored, slow) just landed in
+		// the keep ring: assemble its cross-process timeline now, while
+		// every shard still retains its side, and cache the result so
+		// /debug/traces/{rid} answers long after shard rings rotate.
+		if tr.WasKept() {
+			go h.assembleAndCache(tr.ID())
+		}
+	}()
 	tr.SetAttr("q", need)
 
 	res, err := h.co.Find(ctx, need, r.URL.Query(), p)
 	if err != nil {
 		tr.SetAttr("error", err.Error())
+		tr.Keep("error")
 		var mal *scatter.MalformedError
 		switch {
 		case errors.As(err, &mal):
@@ -180,4 +202,88 @@ func (h *CoordinatorHandler) find(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = &degradedInfo{ShardsDown: res.ShardsDown, ShardsTotal: res.ShardsTotal}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceByID serves GET /debug/traces/{rid} on the coordinator: the
+// assembled cross-process timeline of one query — coordinator spans
+// plus the span snapshots fetched from every shard process, stitched
+// under the fan-out attempts that carried them. Kept queries are
+// served from the eager assembly cache (so the timeline survives the
+// shards' own ring rotation); anything still in the local rings is
+// assembled live.
+func (h *CoordinatorHandler) traceByID(w http.ResponseWriter, r *http.Request) {
+	rid := sanitizeRequestID(r.PathValue("rid"))
+	if rid == "" {
+		writeError(w, r, http.StatusBadRequest, "invalid request id")
+		return
+	}
+	if body, ok := h.asm.get(rid); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+	local := h.tracer.Lookup(rid)
+	if len(local) == 0 {
+		writeError(w, r, http.StatusNotFound, "no trace retained for request id "+rid)
+		return
+	}
+	asm := scatter.AssembleTrace(local[0], h.co.FetchShardTraces(r.Context(), rid))
+	writeJSON(w, http.StatusOK, asm)
+}
+
+// assembleAndCache eagerly assembles a kept query's timeline. Shards
+// record their traces moments after their responses are written, so
+// the fetch retries briefly until at least one shard has contributed
+// (or gives up and caches the coordinator-only view).
+func (h *CoordinatorHandler) assembleAndCache(rid string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for attempt := 0; ; attempt++ {
+		time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+		local := h.tracer.Lookup(rid)
+		if len(local) == 0 {
+			return
+		}
+		asm := scatter.AssembleTrace(local[0], h.co.FetchShardTraces(ctx, rid))
+		if asm.ShardProcesses > 0 || attempt >= 2 {
+			if body, err := json.Marshal(asm); err == nil {
+				h.asm.put(rid, body)
+			}
+			return
+		}
+	}
+}
+
+// assemblyCache is a bounded FIFO of assembled timelines, keyed by
+// request id; the newest assembly for an id wins.
+type assemblyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string][]byte
+	order   []string
+}
+
+func newAssemblyCache(capacity int) *assemblyCache {
+	return &assemblyCache{cap: capacity, entries: make(map[string][]byte)}
+}
+
+func (c *assemblyCache) put(rid string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[rid]; !ok {
+		c.order = append(c.order, rid)
+		for len(c.order) > c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.entries[rid] = body
+}
+
+func (c *assemblyCache) get(rid string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, ok := c.entries[rid]
+	return body, ok
 }

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"expertfind"
+	"expertfind/internal/slo"
 	"expertfind/internal/telemetry"
 )
 
@@ -87,6 +88,10 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 	h.mux.HandleFunc("GET /version", h.version)
 	h.mux.Handle("GET /metrics", telemetry.MetricsHandler(telemetry.Default()))
 	h.mux.Handle("GET /debug/traces", telemetry.TracesHandler(h.tracer))
+	h.mux.HandleFunc("GET /debug/traces/{rid}", h.traceByID)
+	h.mux.HandleFunc("GET /debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		serveSlow(h.tracer, w, r)
+	})
 	if opts.Debug {
 		h.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -106,6 +111,11 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 		h.mux.HandleFunc("GET /v1/shard/meta", h.v1(h.shardMeta))
 		h.mux.HandleFunc("GET /v1/shard/stats", h.v1(h.shardStats))
 		h.mux.HandleFunc("POST /v1/shard/find", h.v1(h.shardFind))
+		// Trace fetch stays outside the v1 guard: the coordinator
+		// assembles timelines even while this shard's corpus is
+		// rebuilding or its concurrency cap is saturated, and the fetch
+		// itself must not record a trace of its own.
+		h.mux.HandleFunc("GET /v1/shard/trace", h.shardTrace)
 	}
 
 	h.root = buildRoot(opts, http.HandlerFunc(h.route))
@@ -154,21 +164,29 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the API's uniform JSON error shape while preserving the status and
 // the Allow header the mux computes.
 func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
-	dispatchMux(h.mux, w, r)
+	dispatchMux(h.mux, h.opts.SLO, w, r)
 }
 
 // dispatchMux is the shared routing core of the API handlers (shard
-// and coordinator processes alike).
-func dispatchMux(mux *http.ServeMux, w http.ResponseWriter, r *http.Request) {
+// and coordinator processes alike). Besides the per-route metrics, it
+// reports the matched route to the access-log middleware and observes
+// every /v1 request into the SLO burn-rate tracker.
+func dispatchMux(mux *http.ServeMux, st *slo.Tracker, w http.ResponseWriter, r *http.Request) {
 	handler, pattern := mux.Handler(r)
 	route := routeLabel(pattern)
+	if rh, ok := r.Context().Value(routeCtxKey{}).(*routeHolder); ok {
+		rh.set(route)
+	}
 	mInFlight.Inc()
 	defer mInFlight.Dec()
 	t0 := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
 
 	if pattern != "" {
-		handler.ServeHTTP(sw, r)
+		// Dispatch through the mux (not the handler mux.Handler returned)
+		// so wildcard patterns like /debug/traces/{rid} get their path
+		// values bound.
+		mux.ServeHTTP(sw, r)
 	} else {
 		rec := &timeoutWriter{header: make(http.Header)}
 		handler.ServeHTTP(rec, r)
@@ -188,37 +206,61 @@ func dispatchMux(mux *http.ServeMux, w http.ResponseWriter, r *http.Request) {
 	}
 	mDuration.With(route).ObserveSince(t0)
 	mRequests.With(route, strconv.Itoa(status)).Inc()
+	if st != nil && strings.Contains(route, " /v1/") {
+		st.Observe(status, time.Since(t0))
+	}
 }
 
 // v1 guards an API route: shed load when the concurrency cap is
 // saturated, and refuse with 503 until a corpus is installed. The
 // probe endpoints bypass this, so /healthz stays 200 while /v1 sheds.
-// Admitted requests run under a telemetry trace (named after the
-// route, identified by the request ID) so the pipeline stages they
-// touch show up in /debug/traces.
+// Every request — including shed and not-ready refusals — runs under a
+// telemetry trace (named after the route, identified by the request
+// ID); shed, errored and degraded traces are marked for tail-sampled
+// retention so /debug/traces/{rid} can still find them after a flood
+// of healthy queries. On a shard process, the coordinator's span
+// header nests the trace under the fan-out attempt that carried it.
 func (h *Handler) v1(f func(*expertfind.System, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, tr := h.tracer.Start(r.Context(), r.Method+" "+r.URL.Path, requestID(r.Context()))
+		defer tr.Finish()
+		if q := r.URL.Query().Get("q"); q != "" {
+			tr.SetAttr("q", q)
+		}
+		if parent := sanitizeRequestID(r.Header.Get(telemetry.SpanHeader)); parent != "" {
+			tr.SetParentSpan(parent)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			tr.SetAttr("status", strconv.Itoa(status))
+			if sw.Header().Get(DegradedHeader) != "" {
+				tr.Keep("degraded")
+			}
+			if status >= 500 {
+				tr.Keep("error")
+			}
+		}()
 		if h.sem != nil {
 			select {
 			case h.sem <- struct{}{}:
 				defer func() { <-h.sem }()
 			default:
 				mShed.Inc()
-				h.opts.writeUnavailable(w, r, "server overloaded")
+				tr.Keep("shed")
+				h.opts.writeUnavailable(sw, r, "server overloaded")
 				return
 			}
 		}
 		sys := h.sys.Load()
 		if sys == nil {
-			h.opts.writeUnavailable(w, r, "corpus not ready")
+			h.opts.writeUnavailable(sw, r, "corpus not ready")
 			return
 		}
-		ctx, tr := h.tracer.Start(r.Context(), r.Method+" "+r.URL.Path, requestID(r.Context()))
-		defer tr.Finish()
-		if q := r.URL.Query().Get("q"); q != "" {
-			tr.SetAttr("q", q)
-		}
-		f(sys, w, r.WithContext(ctx))
+		f(sys, sw, r.WithContext(ctx))
 	}
 }
 

@@ -4,13 +4,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"expertfind/internal/rescache"
+	"expertfind/internal/slo"
 	"expertfind/internal/telemetry"
 )
 
@@ -28,21 +29,26 @@ type Options struct {
 	// RetryAfter is the hint attached to 503 responses (load shed,
 	// timeout, not ready); zero defaults to 1s.
 	RetryAfter time.Duration
-	// Logger receives one line per request plus recovered panics; nil
-	// disables request logging (panics are still recovered).
-	Logger *log.Logger
+	// Logger receives one structured record per request plus recovered
+	// panics; nil disables request logging (panics are still
+	// recovered). Build one with telemetry.NewLogger.
+	Logger *slog.Logger
 	// Tracer records per-request query traces for /debug/traces; nil
 	// selects telemetry.DefaultTracer().
 	Tracer *telemetry.Tracer
+	// SLO, when non-nil, observes every /v1 request's status and wall
+	// time into the burn-rate tracker (see internal/slo).
+	SLO *slo.Tracker
 	// Debug mounts net/http/pprof under /debug/pprof/ and expvar under
 	// /debug/vars. Off by default: profiling endpoints expose process
 	// internals and belong behind an operator's deliberate flag.
 	Debug bool
 	// Shard, when non-nil, mounts the scatter-gather shard endpoints
-	// (/v1/shard/meta, /v1/shard/stats, /v1/shard/find) and identifies
-	// this process's position in the topology. The regular /v1 routes
-	// stay mounted — a shard answers them over its document slice,
-	// which is useful for debugging but not globally ranked.
+	// (/v1/shard/meta, /v1/shard/stats, /v1/shard/find,
+	// /v1/shard/trace) and identifies this process's position in the
+	// topology. The regular /v1 routes stay mounted — a shard answers
+	// them over its document slice, which is useful for debugging but
+	// not globally ranked.
 	Shard *ShardOptions
 	// Cache, when non-nil, is the ranked-result cache the handler
 	// manages across corpus installs: every SetSystem attaches a fresh
@@ -96,33 +102,59 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// withLogging emits one line per request: method, path, status, size,
-// duration, request ID.
-func withLogging(l *log.Logger, next http.Handler) http.Handler {
+// withLogging emits one structured record per request: method, path,
+// matched route, status, size, duration, request id (which is also the
+// trace id for /v1 requests), and the degraded marker when the
+// response carried one. 5xx responses log at error level, 4xx at warn.
+func withLogging(l *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		holder := &routeHolder{}
+		r = r.WithContext(context.WithValue(r.Context(), routeCtxKey{}, holder))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
 		}
-		l.Printf("%s %s %d %dB %v rid=%s", r.Method, r.URL.Path, status, sw.bytes,
-			time.Since(t0).Round(time.Microsecond), requestID(r.Context()))
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		}
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", holder.get()),
+			slog.Int("status", status),
+			slog.Int("bytes", sw.bytes),
+			slog.String("duration", time.Since(t0).Round(time.Microsecond).String()),
+			slog.String("rid", requestID(r.Context())),
+		}
+		if d := sw.Header().Get(DegradedHeader); d != "" {
+			attrs = append(attrs, slog.String("degraded", d))
+		}
+		l.Log(r.Context(), level, "request", attrs...)
 	})
 }
 
 // withRecovery converts handler panics into JSON 500s instead of
 // killing the connection (or, under withTimeout's goroutine, the
 // whole process).
-func withRecovery(l *log.Logger, next http.Handler) http.Handler {
+func withRecovery(l *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
 				mPanics.Inc()
 				if l != nil {
-					l.Printf("panic serving %s %s rid=%s: %v\n%s",
-						r.Method, r.URL.Path, requestID(r.Context()), p, debug.Stack())
+					l.Error("panic recovered",
+						"method", r.Method,
+						"path", r.URL.Path,
+						"rid", requestID(r.Context()),
+						"panic", fmt.Sprint(p),
+						"stack", string(debug.Stack()))
 				}
 				writeError(w, r, http.StatusInternalServerError, "internal server error")
 			}

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -150,7 +150,7 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 		panic("kaboom")
 	})
 	rec := httptest.NewRecorder()
-	withRecovery(log.New(&logs, "", 0), inner).ServeHTTP(rec, httptest.NewRequest("GET", "/v1/find", nil))
+	withRecovery(slog.New(slog.NewTextHandler(&logs, nil)), inner).ServeHTTP(rec, httptest.NewRequest("GET", "/v1/find", nil))
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("status = %d, want 500", rec.Code)
 	}
@@ -199,22 +199,43 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestRequestLogging asserts the structured access log: one record
+// per request carrying method, path, the matched route pattern,
+// status, and the request id the client can correlate on.
 func TestRequestLogging(t *testing.T) {
 	var logs bytes.Buffer
 	system := expertfind.NewSystem(expertfind.Config{Seed: 1, Scale: 0.1})
-	h := NewWithOptions(system, Options{Logger: log.New(&logs, "", 0)})
+	h := NewWithOptions(system, Options{Logger: slog.New(slog.NewJSONHandler(&logs, nil))})
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "log-probe-9")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	line := logs.String()
-	if !strings.Contains(line, "GET /healthz 200") {
-		t.Errorf("log line = %q", line)
+
+	var rec map[string]any
+	if err := json.Unmarshal(logs.Bytes(), &rec); err != nil {
+		t.Fatalf("access log is not JSON: %v (%s)", err, logs.String())
+	}
+	for key, want := range map[string]any{
+		"msg":    "request",
+		"method": "GET",
+		"path":   "/healthz",
+		"route":  "GET /healthz",
+		"status": float64(200),
+		"rid":    "log-probe-9",
+	} {
+		if rec[key] != want {
+			t.Errorf("access log %s = %v, want %v (record %v)", key, rec[key], want, rec)
+		}
 	}
 }
 

@@ -53,6 +53,15 @@ type ScatterConfig struct {
 	// corpus builds run once per process, race-instrumented in -race
 	// runs).
 	StartTimeout time.Duration
+	// ShardSLOLatency, when positive, is passed to every shard process
+	// as its -slo-latency objective. The harness sets it absurdly low
+	// to induce a latency-SLO breach and assert the on-breach pprof
+	// capture fires exactly once.
+	ShardSLOLatency time.Duration
+	// ShardPprofDir, when set, gives each shard process a private
+	// -pprof-dir subdirectory (<dir>/shard<i>) for breach captures, so
+	// concurrent captures never collide on file names.
+	ShardPprofDir string
 	// Logf receives child process output and cluster lifecycle notes;
 	// nil discards.
 	Logf func(format string, args ...any)
@@ -221,18 +230,25 @@ func StartScatter(cfg ScatterConfig) (*ScatterCluster, error) {
 	}
 	bases := make([]string, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
+		args := []string{
+			"-addr", addrs[i],
+			"-seed", strconv.FormatInt(cfg.CorpusSeed, 10),
+			"-scale", strconv.FormatFloat(cfg.Scale, 'g', -1, 64),
+			"-index-shards", strconv.Itoa(cfg.IndexShards),
+			"-shard-id", strconv.Itoa(i),
+			"-shard-count", strconv.Itoa(cfg.Shards),
+		}
+		if cfg.ShardSLOLatency > 0 {
+			args = append(args, "-slo-latency", cfg.ShardSLOLatency.String())
+		}
+		if cfg.ShardPprofDir != "" {
+			args = append(args, "-pprof-dir", filepath.Join(cfg.ShardPprofDir, fmt.Sprintf("shard%d", i)))
+		}
 		p := &managedProc{
 			name: fmt.Sprintf("shard%d", i),
 			bin:  cfg.ServeBin,
 			addr: addrs[i],
-			args: []string{
-				"-addr", addrs[i],
-				"-seed", strconv.FormatInt(cfg.CorpusSeed, 10),
-				"-scale", strconv.FormatFloat(cfg.Scale, 'g', -1, 64),
-				"-index-shards", strconv.Itoa(cfg.IndexShards),
-				"-shard-id", strconv.Itoa(i),
-				"-shard-count", strconv.Itoa(cfg.Shards),
-			},
+			args: args,
 		}
 		cl.shards = append(cl.shards, p)
 		bases[i] = p.base()
@@ -341,7 +357,16 @@ func (c *ScatterCluster) waitHTTP(url string, timeout time.Duration, ok func(int
 // value of the named family across all label sets (the value itself
 // for unlabeled metrics). Missing families return 0 with ok=false.
 func (c *ScatterCluster) Metric(name string) (float64, bool, error) {
-	resp, err := c.client.Get(c.CoordinatorURL() + "/metrics")
+	return c.metricFrom(c.CoordinatorURL(), name)
+}
+
+// ShardMetric scrapes shard i's /metrics the same way.
+func (c *ScatterCluster) ShardMetric(i int, name string) (float64, bool, error) {
+	return c.metricFrom(c.ShardURL(i), name)
+}
+
+func (c *ScatterCluster) metricFrom(base, name string) (float64, bool, error) {
+	resp, err := c.client.Get(base + "/metrics")
 	if err != nil {
 		return 0, false, err
 	}

@@ -203,9 +203,14 @@ func (c *shardClient) call(ctx context.Context, phase, method, path string, quer
 // attempt runs one request attempt under the per-call deadline,
 // launching a hedged duplicate if the primary outlives the latency
 // trigger. The first success wins; the loser's reply is discarded.
+// Each launch records its own child span under the call's span and
+// stamps that span's id onto the outbound request, so the shard's
+// trace nests under the exact attempt that carried it.
 func (c *shardClient) attempt(ctx context.Context, phase, method, u string, payload []byte) ([]byte, error) {
 	cctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
+	tr := telemetry.TraceFrom(ctx)
+	callSpan := telemetry.SpanFrom(ctx)
 
 	type reply struct {
 		raw    []byte
@@ -215,8 +220,17 @@ func (c *shardClient) attempt(ctx context.Context, phase, method, u string, payl
 	}
 	ch := make(chan reply, 2)
 	launch := func(hedged bool) {
+		name := "attempt"
+		if hedged {
+			name = "hedge"
+		}
+		asp := tr.StartChildSpan(callSpan.ID(), name)
 		t0 := time.Now()
-		raw, err := c.roundTrip(cctx, phase, method, u, payload)
+		raw, err := c.roundTrip(telemetry.ContextWithSpan(cctx, asp), phase, method, u, payload)
+		if err != nil {
+			asp.SetAttr("error", err.Error())
+		}
+		asp.End()
 		ch <- reply{raw: raw, err: err, hedged: hedged, t0: t0}
 	}
 	go launch(false)
@@ -291,6 +305,9 @@ func (c *shardClient) roundTrip(ctx context.Context, phase, method, u string, pa
 	}
 	if id := telemetry.TraceFrom(ctx).ID(); id != "" {
 		req.Header.Set("X-Request-ID", id)
+	}
+	if spanID := telemetry.SpanFrom(ctx).ID(); spanID != "" {
+		req.Header.Set(telemetry.SpanHeader, spanID)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

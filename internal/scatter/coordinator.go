@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -50,8 +50,9 @@ type Options struct {
 	// HealthInterval paces the background health loop of Run. 0
 	// selects 1s.
 	HealthInterval time.Duration
-	// Logger receives topology state changes; nil silences them.
-	Logger *log.Logger
+	// Logger receives topology state changes as structured records;
+	// nil silences them.
+	Logger *slog.Logger
 }
 
 func (o Options) shardTimeout() time.Duration {
@@ -247,6 +248,7 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 
 	// Phase 1: gather every shard's local document frequencies for the
 	// need's dimensions; their sum is the global collection view.
+	gsp := tr.StartSpan("gather stats")
 	type statsReply struct {
 		stats Stats
 		err   error
@@ -257,8 +259,8 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 		wg.Add(1)
 		go func(i int, cl *shardClient) {
 			defer wg.Done()
-			sp := tr.StartSpan("shard" + cl.label + " stats")
-			s, err := cl.stats(ctx, need)
+			sp := tr.StartChildSpan(gsp.ID(), "shard"+cl.label+" stats")
+			s, err := cl.stats(telemetry.ContextWithSpan(ctx, sp), need)
 			if err != nil {
 				sp.SetAttr("error", err.Error())
 			}
@@ -267,6 +269,7 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 		}(i, cl)
 	}
 	wg.Wait()
+	gsp.End()
 
 	live := make([]int, 0, len(c.clients))
 	parts := make([]Stats, 0, len(c.clients))
@@ -284,6 +287,7 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 
 	// Phase 2: ship the global view back with the query; each surviving
 	// shard scores its slice under it.
+	fsp := tr.StartSpan("gather find")
 	req := FindRequest{Need: need, Params: map[string][]string(rawParams), Stats: wire}
 	type findReply struct {
 		resp FindResponse
@@ -295,8 +299,8 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 		go func(j, i int) {
 			defer wg.Done()
 			cl := c.clients[i]
-			sp := tr.StartSpan("shard" + cl.label + " find")
-			resp, err := cl.find(ctx, req)
+			sp := tr.StartChildSpan(fsp.ID(), "shard"+cl.label+" find")
+			resp, err := cl.find(telemetry.ContextWithSpan(ctx, sp), req)
 			if err != nil {
 				sp.SetAttr("error", err.Error())
 			} else {
@@ -307,6 +311,7 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 		}(j, i)
 	}
 	wg.Wait()
+	fsp.End()
 
 	lists := make([]mergeList, 0, len(live))
 	down := len(c.clients) - len(live)
@@ -325,11 +330,17 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 		return nil, fmt.Errorf("%w: %w", ErrNoShards, firstError(finds, func(r findReply) error { return r.err }))
 	}
 
+	msp := tr.StartSpan("merge")
 	merged, err := Merge(lists)
 	if err != nil {
+		msp.SetAttr("error", err.Error())
+		msp.End()
 		return nil, err
 	}
 	ranked := core.RankMerged(merged, p)
+	msp.SetAttr("lists", strconv.Itoa(len(lists)))
+	msp.SetAttr("experts", strconv.Itoa(len(ranked)))
+	msp.End()
 	res := &Result{
 		Experts:     make([]Expert, len(ranked)),
 		ShardsDown:  down,
@@ -347,6 +358,8 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 	}
 	if res.Degraded {
 		mDegradedQueries.Inc()
+		tr.SetAttr("shards_down", strconv.Itoa(down))
+		tr.Keep("degraded")
 	}
 	return res, nil
 }
@@ -406,9 +419,11 @@ func (c *Coordinator) Probe(ctx context.Context) (up, total int) {
 		}
 		if c.opts.Logger != nil && was != (err != nil) {
 			if err != nil {
-				c.opts.Logger.Printf("scatter: shard %d (%s) down: %v", i, c.clients[i].base, err)
+				c.opts.Logger.Warn("shard down",
+					"shard", i, "base", c.clients[i].base, "err", err.Error())
 			} else {
-				c.opts.Logger.Printf("scatter: shard %d (%s) recovered", i, c.clients[i].base)
+				c.opts.Logger.Info("shard recovered",
+					"shard", i, "base", c.clients[i].base)
 			}
 		}
 	}
@@ -426,7 +441,7 @@ func (c *Coordinator) Run(ctx context.Context) {
 	defer tick.Stop()
 	for {
 		if err := c.Bootstrap(ctx); err != nil && c.opts.Logger != nil && !errors.Is(err, ErrNotBootstrapped) {
-			c.opts.Logger.Printf("scatter: bootstrap: %v", err)
+			c.opts.Logger.Warn("bootstrap failed", "err", err.Error())
 		}
 		c.Probe(ctx)
 		select {

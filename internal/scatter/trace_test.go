@@ -1,0 +1,119 @@
+package scatter
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"expertfind/internal/telemetry"
+)
+
+// assembleFixture builds a coordinator trace with two fan-out spans
+// and two shard contributions: shard 0 healthy with a trace parented
+// on span s1, shard 1 unreachable.
+func assembleFixture() (telemetry.TraceSnapshot, []ShardTraces) {
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	coord := telemetry.TraceSnapshot{
+		ID:         "rid-1",
+		Name:       "GET /v1/find",
+		Start:      start,
+		DurationUS: 5000,
+		Attrs:      map[string]string{"degraded": "true"},
+		Spans: []telemetry.SpanSnapshot{
+			{ID: "s1", Name: "shard 0 find", StartOffsetUS: 100, DurationUS: 3000},
+			{ID: "s2", Parent: "s1", Name: "attempt", StartOffsetUS: 120, DurationUS: 2900},
+		},
+	}
+	shards := []ShardTraces{
+		{Shard: 0, Base: "http://h0", Traces: []telemetry.TraceSnapshot{{
+			ID:         "rid-1",
+			Name:       "POST /v1/shard/find",
+			ParentSpan: "s1",
+			Start:      start.Add(200 * time.Microsecond),
+			DurationUS: 2500,
+			Spans: []telemetry.SpanSnapshot{
+				{ID: "s1", Name: "index_match", StartOffsetUS: 50, DurationUS: 2000},
+			},
+		}}},
+		{Shard: 1, Base: "http://h1", Error: "connection refused"},
+	}
+	return coord, shards
+}
+
+func TestAssembleTrace(t *testing.T) {
+	coord, shards := assembleFixture()
+	asm := AssembleTrace(coord, shards)
+
+	if asm.ID != "rid-1" || asm.Name != "GET /v1/find" {
+		t.Fatalf("trace identity: got %q %q", asm.ID, asm.Name)
+	}
+	if asm.ShardProcesses != 1 {
+		t.Fatalf("ShardProcesses = %d, want 1 (shard 1 errored)", asm.ShardProcesses)
+	}
+	if got := asm.ShardErrors["1"]; got != "connection refused" {
+		t.Fatalf("ShardErrors[1] = %q", got)
+	}
+
+	byID := map[string]AssembledSpan{}
+	for _, sp := range asm.Spans {
+		byID[sp.ID] = sp
+	}
+	if len(byID) != len(asm.Spans) {
+		t.Fatalf("duplicate span ids in %v", asm.Spans)
+	}
+	// Coordinator spans are process-qualified and keep their nesting.
+	if sp := byID["coordinator/s2"]; sp.Parent != "coordinator/s1" || sp.Process != "coordinator" {
+		t.Fatalf("coordinator/s2 = %+v", sp)
+	}
+	// The shard trace becomes a span parented on the coordinator span
+	// named in its ParentSpan, offset by the cross-process start delta.
+	root := byID["shard0/t0"]
+	if root.Parent != "coordinator/s1" {
+		t.Fatalf("shard root parent = %q, want coordinator/s1", root.Parent)
+	}
+	if root.StartOffsetUS != 200 {
+		t.Fatalf("shard root offset = %d, want 200", root.StartOffsetUS)
+	}
+	// Inner shard spans nest under the root with shifted offsets.
+	inner := byID["shard0/t0/s1"]
+	if inner.Parent != "shard0/t0" || inner.StartOffsetUS != 250 || inner.Name != "index_match" {
+		t.Fatalf("shard inner span = %+v", inner)
+	}
+
+	// Spans come out start-ordered.
+	for i := 1; i < len(asm.Spans); i++ {
+		if asm.Spans[i].StartOffsetUS < asm.Spans[i-1].StartOffsetUS {
+			t.Fatalf("spans out of order at %d: %v", i, asm.Spans)
+		}
+	}
+}
+
+// Assembly is pure: the same inputs yield byte-identical JSON.
+func TestAssembleTraceDeterministic(t *testing.T) {
+	coord, shards := assembleFixture()
+	a, err := json.Marshal(AssembleTrace(coord, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(AssembleTrace(coord, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("assembly not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestAssembleTraceEmptyShards(t *testing.T) {
+	coord, _ := assembleFixture()
+	asm := AssembleTrace(coord, []ShardTraces{{Shard: 0, Base: "http://h0"}})
+	if asm.ShardProcesses != 0 {
+		t.Fatalf("ShardProcesses = %d, want 0 for a shard with no traces", asm.ShardProcesses)
+	}
+	if len(asm.ShardErrors) != 0 {
+		t.Fatalf("unexpected shard errors: %v", asm.ShardErrors)
+	}
+	if len(asm.Spans) != len(coord.Spans) {
+		t.Fatalf("got %d spans, want the coordinator's %d", len(asm.Spans), len(coord.Spans))
+	}
+}

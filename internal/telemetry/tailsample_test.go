@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestKeepRingSurvivesFlood is the tail-sampling contract: a slow,
+// errored or degraded trace must stay retrievable by request ID after
+// far more than capacity fast healthy traces have rotated the recent
+// ring.
+func TestKeepRingSurvivesFlood(t *testing.T) {
+	tr := NewTracer(8)
+
+	_, slow := tr.Start(context.Background(), "GET /v1/find", "rid-degraded")
+	slow.Keep("degraded")
+	slow.Finish()
+	if !slow.WasKept() {
+		t.Fatal("explicitly marked trace was not kept")
+	}
+
+	for i := 0; i < 100; i++ { // 100 fast-OK traces through an 8-slot ring
+		_, fast := tr.Start(context.Background(), "GET /v1/find", fmt.Sprintf("rid-fast-%d", i))
+		fast.Finish()
+		if fast.WasKept() {
+			t.Fatalf("fast trace %d was kept", i)
+		}
+	}
+
+	if got := tr.Lookup("rid-degraded"); len(got) != 1 {
+		t.Fatalf("Lookup(rid-degraded) = %d traces after flood, want 1", len(got))
+	} else if got[0].Attrs["keep"] != "degraded" {
+		t.Fatalf("kept trace attrs = %v, want keep=degraded", got[0].Attrs)
+	}
+	if got := tr.Lookup("rid-fast-0"); len(got) != 0 {
+		t.Fatalf("evicted fast trace still retrievable: %d", len(got))
+	}
+	if kept := tr.Kept(0); len(kept) != 1 || kept[0].ID != "rid-degraded" {
+		t.Fatalf("Kept(0) = %+v, want exactly rid-degraded", kept)
+	}
+}
+
+// TestKeepRingSlowThreshold verifies the duration-based keep path:
+// traces at or over the threshold are retained without any explicit
+// mark, labeled keep=slow.
+func TestKeepRingSlowThreshold(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetKeepPolicy(KeepPolicy{Capacity: 4, SlowThreshold: time.Nanosecond})
+
+	_, trace := tr.Start(context.Background(), "GET /v1/find", "rid-slow")
+	time.Sleep(time.Microsecond)
+	trace.Finish()
+	if !trace.WasKept() {
+		t.Fatal("trace over the slow threshold was not kept")
+	}
+	got := tr.Lookup("rid-slow")
+	if len(got) != 1 || got[0].Attrs["keep"] != "slow" {
+		t.Fatalf("Lookup = %+v, want one trace with keep=slow", got)
+	}
+}
+
+// TestKeepRingDisabled: a zero-capacity keep policy falls back to
+// plain newest-N behavior.
+func TestKeepRingDisabled(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetKeepPolicy(KeepPolicy{Capacity: 0})
+	_, trace := tr.Start(context.Background(), "q", "rid-err")
+	trace.Keep("error")
+	trace.Finish()
+	if trace.WasKept() {
+		t.Fatal("trace kept with tail retention disabled")
+	}
+	for i := 0; i < 4; i++ {
+		_, fast := tr.Start(context.Background(), "q", "rid-fill")
+		fast.Finish()
+	}
+	if got := tr.Lookup("rid-err"); len(got) != 0 {
+		t.Fatalf("Lookup found %d traces with retention disabled", len(got))
+	}
+}
+
+// TestKeepRingBounded: the keep ring itself is a ring — a flood of
+// kept traces evicts older kept traces, never grows without bound.
+func TestKeepRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 20; i++ {
+		_, trace := tr.Start(context.Background(), "q", fmt.Sprintf("kept-%d", i))
+		trace.Keep("error")
+		trace.Finish()
+	}
+	kept := tr.Kept(0)
+	if len(kept) != 4 {
+		t.Fatalf("Kept(0) = %d traces, want 4", len(kept))
+	}
+	if kept[0].ID != "kept-19" || kept[3].ID != "kept-16" {
+		t.Fatalf("kept order = %s..%s, want kept-19..kept-16", kept[0].ID, kept[3].ID)
+	}
+}
+
+// TestLookupMultipleTracesSameID: one request id can record several
+// traces on a shard process (stats phase + find phase); Lookup must
+// return them all without duplicates.
+func TestLookupMultipleTracesSameID(t *testing.T) {
+	tr := NewTracer(8)
+	_, a := tr.Start(context.Background(), "GET /v1/shard/stats", "rid-1")
+	a.Keep("error")
+	a.Finish()
+	_, b := tr.Start(context.Background(), "POST /v1/shard/find", "rid-1")
+	b.Finish()
+	got := tr.Lookup("rid-1")
+	if len(got) != 2 {
+		t.Fatalf("Lookup = %d traces, want 2 (a kept one and a recent one)", len(got))
+	}
+	names := map[string]bool{got[0].Name: true, got[1].Name: true}
+	if !names["GET /v1/shard/stats"] || !names["POST /v1/shard/find"] {
+		t.Fatalf("Lookup names = %v", names)
+	}
+}
+
+// TestSpanIDsAndParents: spans get trace-local ids in start order,
+// child spans reference their parent, and the trace-level parent span
+// (the cross-process nesting hook) round-trips through the snapshot.
+func TestSpanIDsAndParents(t *testing.T) {
+	tr := NewTracer(2)
+	_, trace := tr.Start(context.Background(), "GET /v1/find", "rid-span")
+	trace.SetParentSpan("s7") // as if set from X-Expertfind-Span
+	call := trace.StartSpan("shard0 find")
+	attempt := trace.StartChildSpan(call.ID(), "attempt")
+	attempt.End()
+	call.End()
+	trace.Finish()
+
+	snap := tr.Lookup("rid-span")[0]
+	if snap.ParentSpan != "s7" {
+		t.Fatalf("ParentSpan = %q, want s7", snap.ParentSpan)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("got %d spans", len(snap.Spans))
+	}
+	if snap.Spans[0].ID != "s1" || snap.Spans[0].Parent != "" {
+		t.Fatalf("call span = %+v, want id s1, no parent", snap.Spans[0])
+	}
+	if snap.Spans[1].ID != "s2" || snap.Spans[1].Parent != "s1" {
+		t.Fatalf("attempt span = %+v, want id s2 under s1", snap.Spans[1])
+	}
+}
+
+// TestSnapshotJSONByteStable: snapshotting and marshaling the same
+// finished trace twice must produce identical bytes — the assembled
+// timeline is diffed and cached by the coordinator, so the encoding
+// cannot depend on map iteration order or snapshot count.
+func TestSnapshotJSONByteStable(t *testing.T) {
+	tr := NewTracer(2)
+	_, trace := tr.Start(context.Background(), "GET /v1/find", "rid-stable")
+	trace.SetAttr("q", "golang experts")
+	trace.SetAttr("a", "1")
+	trace.SetAttr("z", "26")
+	sp := trace.StartSpan("analyze")
+	sp.SetAttr("terms", "3")
+	sp.SetAttr("entities", "1")
+	sp.End()
+	trace.Keep("error")
+	trace.Finish()
+
+	first, err := json.Marshal(tr.Lookup("rid-stable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := json.Marshal(tr.Lookup("rid-stable"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("snapshot JSON unstable:\n%s\n%s", first, again)
+		}
+	}
+}
+
+// TestConcurrentRecordAndLookup hammers record, Lookup, Kept and
+// Recent from concurrent goroutines; run under -race this is the
+// retention layer's thread-safety gate.
+func TestConcurrentRecordAndLookup(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetKeepPolicy(KeepPolicy{Capacity: 16, SlowThreshold: time.Millisecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("rid-%d-%d", w, i)
+				_, trace := tr.Start(context.Background(), "q", id)
+				sp := trace.StartSpan("stage")
+				sp.End()
+				if i%3 == 0 {
+					trace.Keep("error")
+				}
+				trace.Finish()
+				switch i % 4 {
+				case 0:
+					tr.Lookup(id)
+				case 1:
+					tr.Kept(4)
+				case 2:
+					tr.Recent(4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Kept(0)); got != 16 {
+		t.Fatalf("Kept(0) = %d, want full ring of 16", got)
+	}
+}
