@@ -10,13 +10,19 @@
 //	coordinator -shards http://h1:8081,http://h2:8082,...
 //	            [-addr :8080] [-shard-timeout D] [-request-timeout D]
 //	            [-max-concurrent N] [-retry-after D] [-hedge-disable]
-//	            [-health-interval D]
+//	            [-health-interval D] [-topk N]
 //	            [-log-format text|json] [-log-level L] [-log-stamp=false]
 //	            [-slo-latency D] [-slo-availability F] [-slo-window D]
 //	            [-slo-burn-alert F] [-pprof-dir DIR]
 //
 // Shard URL position defines the shard id: the i-th URL must be the
 // process started with -shard-id i -shard-count len(urls).
+//
+// With -topk N, /v1/find requests without their own topk parameter
+// bound resource matching to the N best-ranked reachable resources:
+// the parameter is injected into the query forwarded to every shard,
+// each shard prunes to its local top N (MaxScore), and the merge is
+// truncated to N — byte-identical to a single -topk N process.
 //
 // Every shard call runs under a per-call deadline, bounded retries,
 // a hedged backup request past the shard's latency quantile, and a
@@ -61,6 +67,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
 	hedgeDisable := flag.Bool("hedge-disable", false, "disable hedged second requests")
 	healthInterval := flag.Duration("health-interval", time.Second, "shard readiness probe interval")
+	topK := flag.Int("topk", 0, "default top-k resource bound for /v1/find, forwarded to every shard (0 = exhaustive)")
 	logFormat := flag.String("log-format", "text", "log record format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	logStamp := flag.Bool("log-stamp", true, "timestamp log records (false for byte-deterministic output)")
@@ -126,6 +133,7 @@ func main() {
 		Logger:         logger,
 		Tracer:         tracer,
 		SLO:            tracker,
+		DefaultTopK:    *topK,
 	})
 
 	// Background health loop: bootstrap retries until the topology is

@@ -11,6 +11,7 @@
 //	         [-open-requests N] [-warmup D] [-ramp D] [-steady D]
 //	         [-cache-size N] [-cache-ttl D] [-cached-requests N]
 //	         [-require-cache-speedup]
+//	         [-topk N] [-topk-requests N] [-require-topk-speedup]
 //	         [-chaos] [-chaos-transient F] [-chaos-ratelimit F]
 //	         [-chaos-latency D] [-chaos-requests N] [-chaos-duration D]
 //	         [-addr URL] [-max-concurrent N] [-request-timeout D]
@@ -43,6 +44,16 @@
 // unless every driver's cached-steady p95 beats its steady p95.
 // Against a remote -addr server the attach is local and ineffective —
 // enable caching on the server instead (serve -cache-size).
+//
+// Top-k. -topk > 0 replaces the sim/real phases with the pruned-vs-
+// exhaustive head-to-head scenario (cmd/loadtest/topk.go): the same
+// deterministic request stream is replayed through the in-process
+// finder exhaustively and pruned to the top-k resource bound, on a
+// single thread under a wall clock, and the report (BENCH_8.json by
+// default) records both phases' latency percentiles plus the pruning
+// counters each accumulated. -require-topk-speedup exits nonzero
+// unless the pruned p95 beats the exhaustive p95 with at least one
+// posting block skipped.
 //
 // Chaos. -chaos appends a chaos phase: concurrency spikes to 4x and
 // every request passes the internal/faults gate first, so injected
@@ -108,6 +119,10 @@ type options struct {
 	cachedReq      int
 	requireSpeedup bool
 
+	topK               int
+	topkReq            int
+	requireTopkSpeedup bool
+
 	chaos          bool
 	chaosTransient float64
 	chaosRateLimit float64
@@ -164,6 +179,10 @@ func parseFlags() *options {
 	flag.IntVar(&o.cachedReq, "cached-requests", 600, "sim cached-steady phase size")
 	flag.BoolVar(&o.requireSpeedup, "require-cache-speedup", false, "fail unless cached-steady p95 beats steady p95 on every driver")
 
+	flag.IntVar(&o.topK, "topk", 0, "> 0 runs the pruned-vs-exhaustive top-k head-to-head scenario with this resource bound")
+	flag.IntVar(&o.topkReq, "topk-requests", 600, "requests per top-k head-to-head phase")
+	flag.BoolVar(&o.requireTopkSpeedup, "require-topk-speedup", false, "fail unless the pruned phase's p95 beats the exhaustive phase's and blocks were skipped")
+
 	flag.BoolVar(&o.chaos, "chaos", false, "append a chaos phase (4x concurrency + fault injection)")
 	flag.Float64Var(&o.chaosTransient, "chaos-transient", 0.1, "chaos injected transient-failure rate")
 	flag.Float64Var(&o.chaosRateLimit, "chaos-ratelimit", 0.05, "chaos injected rate-limit rate")
@@ -206,6 +225,9 @@ func main() {
 	}
 	if o.scatter {
 		os.Exit(runScatter(o))
+	}
+	if o.topK > 0 {
+		os.Exit(runTopK(o))
 	}
 
 	sys := buildSystem(o)

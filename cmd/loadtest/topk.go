@@ -1,0 +1,204 @@
+package main
+
+import (
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"expertfind"
+	"expertfind/internal/loadgen"
+	"expertfind/internal/telemetry"
+)
+
+// The top-k scenario is a wall-clock head-to-head: the sim service
+// model prices a request purely by its response bytes and cache
+// disposition, so a simulated run cannot observe the work MaxScore
+// pruning avoids. Instead the scenario replays the same deterministic
+// request stream twice through the in-process finder — exhaustive,
+// then pruned to -topk — on a single thread and real clock, records
+// both phases' latency percentiles plus the index pruning counters
+// accumulated during each, and writes the comparison as BENCH_8.json.
+//
+// -require-topk-speedup turns the comparison into a gate: the pruned
+// phase's p95 must beat the exhaustive one's and the pruned phase must
+// have skipped at least one posting block, otherwise the run exits
+// nonzero. The pruned phase also re-runs a sample of its requests and
+// requires bit-identical expert lists, so the determinism contract is
+// checked at the public API surface too, not just in the index tests.
+
+// topkOut is the head-to-head report's default path.
+const topkOut = "BENCH_8.json"
+
+// indexCounters reads the index pruning counters the head-to-head
+// phases diff. Counter registration is get-or-create, so this attaches
+// to the counters internal/index already registered.
+func indexCounters() (pruned, skipped float64) {
+	reg := telemetry.Default()
+	p := reg.Counter("expertfind_index_pruned_docs_total",
+		"Accumulated candidates dropped by a MaxScore bound proof during top-k scoring.")
+	s := reg.Counter("expertfind_index_blocks_skipped_total",
+		"Posting blocks skipped without decoding during top-k scoring.")
+	return p.Value(), s.Value()
+}
+
+func runTopK(o *options) int {
+	if o.mode != "real" {
+		log.Printf("topk scenario measures wall-clock latency; forcing -mode real")
+		o.mode = "real"
+	}
+	out := o.out
+	if out == defaultOut {
+		out = topkOut
+	}
+
+	sys := buildSystem(o)
+	st := sys.Stats()
+	workload := loadgen.NewWorkload(loadgen.WorkloadConfig{Seed: o.seed}, loadgen.SystemSource(sys))
+
+	exhaustive := []expertfind.FindOption{expertfind.WithTopK(0)}
+	pruned := []expertfind.FindOption{expertfind.WithTopK(o.topK)}
+
+	// Warm both paths over the head of the stream so first-touch costs
+	// (page faults, lazily grown scratch) hit neither measured phase.
+	for seq := uint64(0); seq < uint64(o.warmupReq); seq++ {
+		need := workload.Need(seq)
+		if _, err := sys.Find(need, exhaustive...); err != nil {
+			log.Printf("TOPK: warmup exhaustive find: %v", err)
+			return 1
+		}
+		if _, err := sys.Find(need, pruned...); err != nil {
+			log.Printf("TOPK: warmup pruned find: %v", err)
+			return 1
+		}
+	}
+
+	exPhase, code := topkPhase(o, sys, workload, "exhaustive-steady", exhaustive)
+	if code != 0 {
+		return code
+	}
+	prPhase, code := topkPhase(o, sys, workload, "topk-steady", pruned)
+	if code != 0 {
+		return code
+	}
+
+	rep := &loadgen.Report{
+		Schema: loadgen.Schema,
+		Bench:  8,
+		Mode:   o.mode,
+		Seed:   o.seed,
+		Corpus: loadgen.CorpusInfo{
+			Seed: o.corpusSeed, Scale: o.scale,
+			Candidates: st.Candidates, Documents: st.Indexed,
+		},
+		Drivers: []loadgen.DriverReport{
+			{Driver: "inprocess", Phases: []loadgen.PhaseResult{exPhase, prPhase}},
+		},
+	}
+	if o.stamp {
+		rep.GitRev = gitRev(o.rev)
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	if err := rep.WriteFile(out); err != nil {
+		log.Fatalf("write %s: %v", out, err)
+	}
+	log.Printf("wrote %s", out)
+	printSummary(rep)
+
+	if o.requireTopkSpeedup {
+		return topkGate(&exPhase, &prPhase, o.topK)
+	}
+	return 0
+}
+
+// topkPhase replays -topk-requests needs from the head of the
+// workload stream single-threaded under a real clock, so the two
+// phases measure identical request sequences and their percentiles
+// differ only by the scoring strategy. Every 16th pruned request is
+// re-run and must reproduce the same expert list bit for bit.
+func topkPhase(o *options, sys *expertfind.System, w *loadgen.Workload, name string, opts []expertfind.FindOption) (loadgen.PhaseResult, int) {
+	lat := make([]float64, 0, o.topkReq)
+	pruned0, skipped0 := indexCounters()
+	t0 := time.Now()
+	for seq := uint64(0); seq < uint64(o.topkReq); seq++ {
+		need := w.Need(seq)
+		q0 := time.Now()
+		experts, err := sys.Find(need, opts...)
+		lat = append(lat, time.Since(q0).Seconds())
+		if err != nil {
+			log.Printf("TOPK: %s find %q: %v", name, need, err)
+			return loadgen.PhaseResult{}, 1
+		}
+		if name == "topk-steady" && seq%16 == 0 {
+			again, err := sys.Find(need, opts...)
+			if err != nil || !expertsIdentical(experts, again) {
+				log.Printf("TOPK: pruned ranking for %q not deterministic across runs", need)
+				return loadgen.PhaseResult{}, 1
+			}
+		}
+	}
+	wall := time.Since(t0).Seconds()
+	pruned1, skipped1 := indexCounters()
+
+	res := loadgen.PhaseResult{
+		Name:            name,
+		Mode:            "closed",
+		Concurrency:     1,
+		Requests:        uint64(o.topkReq),
+		DurationSeconds: wall,
+		Latency:         percentilesOf(lat),
+		Index: map[string]uint64{
+			"pruned_docs":    uint64(pruned1 - pruned0),
+			"blocks_skipped": uint64(skipped1 - skipped0),
+		},
+	}
+	if wall > 0 {
+		res.QPS = float64(o.topkReq) / wall
+	}
+	return res, 0
+}
+
+func expertsIdentical(a, b []expertfind.Expert) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+func percentilesOf(lat []float64) loadgen.Percentiles {
+	if len(lat) == 0 {
+		return loadgen.Percentiles{}
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return loadgen.Percentiles{P50: at(0.50), P95: at(0.95), P99: at(0.99), P999: at(0.999)}
+}
+
+// topkGate enforces -require-topk-speedup on the head-to-head report.
+func topkGate(ex, pr *loadgen.PhaseResult, k int) int {
+	code := 0
+	if pr.Latency.P95 < ex.Latency.P95 {
+		log.Printf("topk gate passed: p95 %s exhaustive -> %s pruned (k=%d)",
+			fmtSec(ex.Latency.P95), fmtSec(pr.Latency.P95), k)
+	} else {
+		log.Printf("TOPK GATE: pruned p95 %s not better than exhaustive p95 %s (k=%d)",
+			fmtSec(pr.Latency.P95), fmtSec(ex.Latency.P95), k)
+		code = 1
+	}
+	if pr.Index["blocks_skipped"] == 0 {
+		log.Printf("TOPK GATE: pruned phase skipped no posting blocks (pruned_docs=%d)",
+			pr.Index["pruned_docs"])
+		code = 1
+	}
+	return code
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
-//	      [-index-shards N] [-request-timeout D] [-max-concurrent N]
+//	      [-index-shards N] [-topk N] [-request-timeout D]
+//	      [-max-concurrent N]
 //	      [-retry-after D] [-cache-size N] [-cache-ttl D] [-debug]
 //	      [-shard-id N -shard-count N]
 //	      [-log-format text|json] [-log-level L] [-log-stamp=false]
@@ -13,6 +14,12 @@
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
+//
+// With -topk N, /v1/find and /v1/bestnetwork requests that do not
+// pass their own topk parameter bound resource matching to the N
+// best-ranked reachable resources (MaxScore pruned; byte-identical to
+// the exhaustive top N). Clients override per request with topk=K, or
+// topk=0 to force exhaustive scoring.
 //
 // With -shard-count N (and -shard-id in [0,N)), the process serves
 // one shard of a scatter-gather topology: it analyzes and indexes
@@ -69,6 +76,7 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "corpus volume multiplier (ignored with -corpus)")
 	corpus := flag.String("corpus", "", "load a saved corpus snapshot instead of generating")
 	indexShards := flag.Int("index-shards", 0, "document shards scored in parallel per query (0 = GOMAXPROCS, 1 = monolithic)")
+	topK := flag.Int("topk", 0, "default top-k resource bound for /v1/find (MaxScore pruning; 0 = exhaustive)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
 	maxConc := flag.Int("max-concurrent", 64, "max in-flight /v1 requests before shedding load (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
@@ -139,6 +147,7 @@ func main() {
 		Debug:          *debugEndpoints,
 		Cache:          cache,
 		Shard:          shard,
+		DefaultTopK:    *topK,
 	})
 
 	// Build the corpus in the background so the listener (and its

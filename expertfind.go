@@ -271,6 +271,21 @@ func WithWindow(n int) FindOption {
 	}
 }
 
+// WithTopK bounds resource matching to the k best-ranked reachable
+// resources, enabling the index's MaxScore early-termination pruning.
+// The k resources kept are byte-identical to the first k of the
+// exhaustive ranking, so results match the unbounded query whenever k
+// covers the effective window (see WithWindow). k <= 0 (the default)
+// disables the bound.
+func WithTopK(k int) FindOption {
+	return func(c *findConfig) {
+		if k < 0 {
+			k = 0
+		}
+		c.params.TopK = k
+	}
+}
+
 // WithMaxDistance bounds the social-graph exploration: 0 profiles
 // only, 1 direct resources, 2 (default) indirect resources too.
 func WithMaxDistance(d int) FindOption {

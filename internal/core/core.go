@@ -96,6 +96,14 @@ type Params struct {
 	// Ignored for non-sharded indexes. Results are identical for any
 	// value — the knob trades latency against CPU, never output.
 	ScoreWorkers int
+	// TopK, when positive, bounds the relevant-resource list to the k
+	// best-ranked reachable matches, letting the index prune documents
+	// that provably cannot enter the top k (MaxScore early
+	// termination). The k matches kept are byte-identical to the first
+	// k of the exhaustive reachable ranking, so the expert ranking
+	// equals the unbounded one whenever k covers the effective window.
+	// Zero or negative disables the bound.
+	TopK int
 }
 
 func (p Params) alpha() float64 {
@@ -152,9 +160,13 @@ func (p Params) Fingerprint() string {
 	default:
 		win = strconv.Itoa(p.WindowSize)
 	}
-	return fmt.Sprintf("a%s|w%s|dw%g,%g,%g|%s",
+	k := "all"
+	if p.TopK > 0 {
+		k = strconv.Itoa(p.TopK)
+	}
+	return fmt.Sprintf("a%s|w%s|dw%g,%g,%g|k%s|%s",
 		strconv.FormatFloat(p.alpha(), 'g', -1, 64), win,
-		w[0], w[1], w[2], traversalKey(p.Traversal))
+		w[0], w[1], w[2], k, traversalKey(p.Traversal))
 }
 
 // NormalizeNeed canonicalizes a need's text for cache keying: case is
@@ -307,6 +319,27 @@ func (f *Finder) score(need analysis.Analyzed, p Params) []index.ScoredDoc {
 	return f.index.Score(need, p.alpha())
 }
 
+// scoreMatches produces the relevant-resource list: Eq. (1) matches
+// restricted to the reachable set. With TopK set, the reachability
+// filter rides into the index as the accept predicate so the pruned
+// evaluation bounds exactly the list the pipeline consumes; the result
+// is byte-identical to the exhaustive filtered ranking truncated to k.
+func (f *Finder) scoreMatches(need analysis.Analyzed, p Params, rcm map[socialgraph.ResourceID][]socialgraph.CandidateDistance) []index.ScoredDoc {
+	if p.TopK <= 0 {
+		return filterReachable(f.score(need, p), rcm)
+	}
+	accept := func(d index.DocID) bool {
+		_, ok := rcm[d]
+		return ok
+	}
+	if p.ScoreWorkers != 0 {
+		if ps, ok := f.index.(index.ParallelSearcher); ok {
+			return ps.ScoreTopKWorkers(need, p.alpha(), p.ScoreWorkers, p.TopK, accept)
+		}
+	}
+	return f.index.ScoreTopK(need, p.alpha(), p.TopK, accept)
+}
+
 // Pipeline returns the analysis pipeline.
 func (f *Finder) Pipeline() *analysis.Pipeline { return f.pipe }
 
@@ -380,7 +413,7 @@ func (f *Finder) FindAnalyzedContext(ctx context.Context, need analysis.Analyzed
 	sp.End()
 
 	sp, t0 = tr.StartSpan("index_match"), time.Now()
-	matches := filterReachable(f.score(need, p), rcm)
+	matches := f.scoreMatches(need, p, rcm)
 	mStageSeconds.With("index_match").ObserveSince(t0)
 	sp.SetAttr("matches", strconv.Itoa(len(matches)))
 	sp.End()
@@ -396,9 +429,10 @@ func (f *Finder) FindAnalyzedContext(ctx context.Context, need analysis.Analyzed
 // Matches returns the relevant resources for the need — the scored
 // matches of Eq. (1) restricted to resources reachable from the
 // candidate pool under p.Traversal — ordered by descending relevance,
-// before window truncation.
+// before window truncation (but after the TopK bound, when one is
+// set).
 func (f *Finder) Matches(need analysis.Analyzed, p Params) []index.ScoredDoc {
-	return filterReachable(f.score(need, p), f.reachability(p.Traversal))
+	return f.scoreMatches(need, p, f.reachability(p.Traversal))
 }
 
 // filterReachable restricts scored resources to those present in the

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -150,6 +151,16 @@ func (h *CoordinatorHandler) find(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	rawParams := r.URL.Query()
+	// The coordinator's default top-k must reach the shards too: the
+	// per-shard prune depth and the coordinator's merge truncation have
+	// to agree for the bounded ranking to stay byte-identical to a
+	// single process's. Injecting the parameter into the forwarded
+	// query makes the topology behave as if the client had asked.
+	if h.opts.DefaultTopK > 0 && !rawParams.Has("topk") {
+		opts = append(opts, expertfind.WithTopK(h.opts.DefaultTopK))
+		rawParams.Set("topk", strconv.Itoa(h.opts.DefaultTopK))
+	}
 	p, err := expertfind.ResolveParams(opts...)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -169,7 +180,7 @@ func (h *CoordinatorHandler) find(w http.ResponseWriter, r *http.Request) {
 	}()
 	tr.SetAttr("q", need)
 
-	res, err := h.co.Find(ctx, need, r.URL.Query(), p)
+	res, err := h.co.Find(ctx, need, rawParams, p)
 	if err != nil {
 		tr.SetAttr("error", err.Error())
 		tr.Keep("error")

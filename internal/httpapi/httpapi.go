@@ -24,7 +24,9 @@
 //
 // /v1/find accepts the optional parameters alpha (0..1), distance
 // (0..2), window (int, 0 = no truncation), networks (comma-separated),
-// friends (bool) and top (int). When the handler manages a result
+// friends (bool), topk (int, bound resource matching to the k best
+// reachable matches with MaxScore pruning; 0 = exhaustive) and top
+// (int). When the handler manages a result
 // cache (Options.Cache), /v1/find responses carry a Cache-Status
 // header — hit, miss or coalesced — reporting how the ranking was
 // obtained; cached rankings are byte-identical to cold ones.
@@ -327,6 +329,7 @@ func (h *Handler) find(sys *expertfind.System, w http.ResponseWriter, r *http.Re
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	opts = h.applyDefaultTopK(r, opts)
 	experts, cacheStatus, err := sys.FindCachedContext(r.Context(), need, opts...)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -359,6 +362,7 @@ func (h *Handler) bestNetwork(sys *expertfind.System, w http.ResponseWriter, r *
 		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	opts = h.applyDefaultTopK(r, opts)
 	best, rankings, err := sys.BestNetworkContext(r.Context(), need, opts...)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
@@ -395,6 +399,16 @@ func (h *Handler) explain(sys *expertfind.System, w http.ResponseWriter, r *http
 		return
 	}
 	writeJSON(w, http.StatusOK, expl)
+}
+
+// applyDefaultTopK appends the handler's default top-k bound when the
+// request did not choose one itself (including an explicit topk=0 to
+// force exhaustive scoring).
+func (h *Handler) applyDefaultTopK(r *http.Request, opts []expertfind.FindOption) []expertfind.FindOption {
+	if h.opts.DefaultTopK > 0 && !r.URL.Query().Has("topk") {
+		opts = append(opts, expertfind.WithTopK(h.opts.DefaultTopK))
+	}
+	return opts
 }
 
 // parseOptions converts query parameters into Find options.
@@ -436,6 +450,13 @@ func parseOptions(r *http.Request) (opts []expertfind.FindOption, top int, err e
 		if on {
 			opts = append(opts, expertfind.WithFriends())
 		}
+	}
+	if v := q.Get("topk"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			return nil, 0, fmt.Errorf("invalid topk %q", v)
+		}
+		opts = append(opts, expertfind.WithTopK(k))
 	}
 	if v := q.Get("top"); v != "" {
 		top, err = strconv.Atoi(v)

@@ -50,6 +50,12 @@ type Options struct {
 	// them over its document slice, which is useful for debugging but
 	// not globally ranked.
 	Shard *ShardOptions
+	// DefaultTopK, when positive, bounds resource matching on /v1/find
+	// and /v1/bestnetwork to the k best-ranked reachable resources
+	// (MaxScore pruning) for requests that do not pass an explicit
+	// topk parameter. Results are byte-identical to the unbounded
+	// query whenever k covers the effective window.
+	DefaultTopK int
 	// Cache, when non-nil, is the ranked-result cache the handler
 	// manages across corpus installs: every SetSystem attaches a fresh
 	// generation (purging the previous corpus's entries) so a swapped

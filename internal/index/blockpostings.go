@@ -1,0 +1,320 @@
+package index
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Blocked posting lists. Each list keeps its postings in two regions:
+//
+//   - a sealed region of fixed-size blocks, delta-encoded on ascending
+//     DocID (uvarint deltas, each block's base is the previous block's
+//     maximum doc id), with one skip entry per block recording the
+//     block's byte offset, posting count, maximum doc id and maximum
+//     weightless posting score;
+//   - a small unsorted tail of recent Add/Merge postings.
+//
+// Sealing happens at build time (Add/Merge), never during scoring, so
+// concurrent Score calls stay read-only. The tail is folded into the
+// sealed region whenever it reaches max(blockSize, sealed/4) postings,
+// which keeps re-encoding amortized near O(n log n) over a build.
+//
+// The skip entries are what the top-k pruner consumes: the "weightless"
+// score of a posting is its contribution to Eq. (1) with the query
+// weight divided out — tf for a term posting, ef·we for an entity
+// posting — so multiplying a block's maximum by the planned weight
+// bounds every member's contribution without decoding the block.
+
+// blockSize is the number of postings per sealed block. 128 keeps a
+// block within a few cache lines when decoded while making the
+// per-block skip metadata (~32 bytes) a <2% overhead.
+const blockSize = 128
+
+// blockMeta is one sealed block's skip entry.
+type blockMeta struct {
+	off    int     // byte offset of the block in the list's data
+	n      int     // postings in the block
+	maxDoc DocID   // maximum (= last) doc id in the block
+	maxW   float64 // maximum weightless posting score in the block
+}
+
+// termList is a blocked posting list for one term.
+type termList struct {
+	data   []byte
+	blocks []blockMeta
+	tail   []termPosting
+	count  int     // total postings, sealed + tail
+	maxW   float64 // list-wide maximum weightless score (max tf)
+}
+
+// entityList is a blocked posting list for one entity.
+type entityList struct {
+	data   []byte
+	blocks []blockMeta
+	tailE  []entityPosting
+	count  int
+	maxW   float64 // list-wide maximum weightless score (max ef·we)
+}
+
+// entityWeight is the weightless Eq. (1) contribution of an entity
+// posting: ef·we with we = 1+dScore for positive disambiguation
+// confidence, 0 otherwise (Eq. 2).
+func entityWeight(p entityPosting) float64 {
+	if p.dScore > 0 {
+		return float64(p.ef) * (1 + p.dScore)
+	}
+	return 0
+}
+
+// sealDue reports whether a tail of t postings over a list of count
+// total postings should be folded into the sealed region.
+func sealDue(t, count int) bool {
+	sealed := count - t
+	return t >= blockSize && t*4 >= sealed
+}
+
+func (l *termList) add(p termPosting) {
+	l.tail = append(l.tail, p)
+	l.count++
+	if w := float64(p.tf); w > l.maxW {
+		l.maxW = w
+	}
+	if sealDue(len(l.tail), l.count) {
+		l.seal()
+	}
+}
+
+func (l *entityList) add(p entityPosting) {
+	l.tailE = append(l.tailE, p)
+	l.count++
+	if w := entityWeight(p); w > l.maxW {
+		l.maxW = w
+	}
+	if sealDue(len(l.tailE), l.count) {
+		l.seal()
+	}
+}
+
+// seal folds the tail into the sealed region: decode, merge, sort by
+// doc id, re-encode into fixed-size blocks.
+func (l *termList) seal() {
+	all := l.decodeAll()
+	l.encode(sortTermPostings(all))
+}
+
+func (l *entityList) seal() {
+	all := l.decodeAll()
+	l.encode(sortEntityPostings(all))
+}
+
+// decodeAll returns every posting, sealed region first (in doc order)
+// then the tail (in insertion order).
+func (l *termList) decodeAll() []termPosting {
+	out := make([]termPosting, 0, l.count)
+	l.forEach(func(p termPosting) { out = append(out, p) })
+	return out
+}
+
+func (l *entityList) decodeAll() []entityPosting {
+	out := make([]entityPosting, 0, l.count)
+	l.forEach(func(p entityPosting) { out = append(out, p) })
+	return out
+}
+
+// encode rebuilds the sealed region from postings sorted by ascending
+// doc id and clears the tail. The layout is canonical: block boundaries
+// fall every blockSize postings regardless of the insertion history, so
+// two lists holding the same postings encode byte-identically.
+func (l *termList) encode(ps []termPosting) {
+	l.data = l.data[:0]
+	l.blocks = l.blocks[:0]
+	prev := DocID(0)
+	for start := 0; start < len(ps); start += blockSize {
+		end := start + blockSize
+		if end > len(ps) {
+			end = len(ps)
+		}
+		bm := blockMeta{off: len(l.data), n: end - start}
+		for _, p := range ps[start:end] {
+			l.data = binary.AppendUvarint(l.data, uint64(p.doc-prev))
+			l.data = binary.AppendUvarint(l.data, uint64(p.tf))
+			prev = p.doc
+			if w := float64(p.tf); w > bm.maxW {
+				bm.maxW = w
+			}
+		}
+		bm.maxDoc = prev
+		l.blocks = append(l.blocks, bm)
+	}
+	l.tail = nil
+	l.count = len(ps)
+}
+
+func (l *entityList) encode(ps []entityPosting) {
+	l.data = l.data[:0]
+	l.blocks = l.blocks[:0]
+	prev := DocID(0)
+	for start := 0; start < len(ps); start += blockSize {
+		end := start + blockSize
+		if end > len(ps) {
+			end = len(ps)
+		}
+		bm := blockMeta{off: len(l.data), n: end - start}
+		for _, p := range ps[start:end] {
+			l.data = binary.AppendUvarint(l.data, uint64(p.doc-prev))
+			l.data = binary.AppendUvarint(l.data, uint64(p.ef))
+			l.data = appendFloat64(l.data, p.dScore)
+			prev = p.doc
+			if w := entityWeight(p); w > bm.maxW {
+				bm.maxW = w
+			}
+		}
+		bm.maxDoc = prev
+		l.blocks = append(l.blocks, bm)
+	}
+	l.tailE = nil
+	l.count = len(ps)
+}
+
+// blockEnd returns the byte offset one past block i.
+func (l *termList) blockEnd(i int) int {
+	if i+1 < len(l.blocks) {
+		return l.blocks[i+1].off
+	}
+	return len(l.data)
+}
+
+func (l *entityList) blockEnd(i int) int {
+	if i+1 < len(l.blocks) {
+		return l.blocks[i+1].off
+	}
+	return len(l.data)
+}
+
+// decodeBlock appends block i's postings to dst. base is the delta
+// base (the previous block's maxDoc, 0 for the first block).
+func (l *termList) decodeBlock(i int, base DocID, dst []termPosting) []termPosting {
+	bm := l.blocks[i]
+	pos, prev := bm.off, base
+	for j := 0; j < bm.n; j++ {
+		delta, n := binary.Uvarint(l.data[pos:])
+		pos += n
+		tf, n := binary.Uvarint(l.data[pos:])
+		pos += n
+		prev += DocID(delta)
+		dst = append(dst, termPosting{doc: prev, tf: int32(tf)})
+	}
+	return dst
+}
+
+func (l *entityList) decodeBlock(i int, base DocID, dst []entityPosting) []entityPosting {
+	bm := l.blocks[i]
+	pos, prev := bm.off, base
+	for j := 0; j < bm.n; j++ {
+		delta, n := binary.Uvarint(l.data[pos:])
+		pos += n
+		ef, n := binary.Uvarint(l.data[pos:])
+		pos += n
+		dScore := float64FromBytes(l.data[pos:])
+		pos += 8
+		prev += DocID(delta)
+		dst = append(dst, entityPosting{doc: prev, ef: int32(ef), dScore: dScore})
+	}
+	return dst
+}
+
+// forEach visits every posting: sealed blocks in doc order, then the
+// tail in insertion order. A document appears at most once per list, so
+// per-document accumulation order is unaffected by the region split.
+func (l *termList) forEach(fn func(termPosting)) {
+	pos, prev := 0, DocID(0)
+	for _, bm := range l.blocks {
+		for j := 0; j < bm.n; j++ {
+			delta, n := binary.Uvarint(l.data[pos:])
+			pos += n
+			tf, n := binary.Uvarint(l.data[pos:])
+			pos += n
+			prev += DocID(delta)
+			fn(termPosting{doc: prev, tf: int32(tf)})
+		}
+	}
+	for _, p := range l.tail {
+		fn(p)
+	}
+}
+
+func (l *entityList) forEach(fn func(entityPosting)) {
+	pos, prev := 0, DocID(0)
+	for _, bm := range l.blocks {
+		for j := 0; j < bm.n; j++ {
+			delta, n := binary.Uvarint(l.data[pos:])
+			pos += n
+			ef, n := binary.Uvarint(l.data[pos:])
+			pos += n
+			dScore := float64FromBytes(l.data[pos:])
+			pos += 8
+			prev += DocID(delta)
+			fn(entityPosting{doc: prev, ef: int32(ef), dScore: dScore})
+		}
+	}
+	for _, p := range l.tailE {
+		fn(p)
+	}
+}
+
+// sorted returns every posting in ascending doc order — the canonical
+// form the codec serializes.
+func (l *termList) sorted() []termPosting {
+	return sortTermPostings(l.decodeAll())
+}
+
+func (l *entityList) sorted() []entityPosting {
+	return sortEntityPostings(l.decodeAll())
+}
+
+// newTermList builds a list from postings in arbitrary order, fully
+// sealed into canonical blocks.
+func newTermList(ps []termPosting) *termList {
+	l := &termList{}
+	for _, p := range ps {
+		if w := float64(p.tf); w > l.maxW {
+			l.maxW = w
+		}
+	}
+	l.encode(sortTermPostings(append([]termPosting(nil), ps...)))
+	return l
+}
+
+func newEntityList(ps []entityPosting) *entityList {
+	l := &entityList{}
+	for _, p := range ps {
+		if w := entityWeight(p); w > l.maxW {
+			l.maxW = w
+		}
+	}
+	l.encode(sortEntityPostings(append([]entityPosting(nil), ps...)))
+	return l
+}
+
+// sortTermPostings sorts postings by ascending doc id, in place.
+func sortTermPostings(ps []termPosting) []termPosting {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].doc < ps[j].doc })
+	return ps
+}
+
+// sortEntityPostings sorts postings by ascending doc id, in place.
+func sortEntityPostings(ps []entityPosting) []entityPosting {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].doc < ps[j].doc })
+	return ps
+}
+
+// appendFloat64 appends v's IEEE-754 bits, little endian.
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// float64FromBytes reads the float64 appendFloat64 wrote.
+func float64FromBytes(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -43,24 +43,30 @@ func assertIndexesEqual(t *testing.T, a, b *Index) {
 	if len(a.terms) != len(b.terms) {
 		t.Fatalf("term counts: %d vs %d", len(a.terms), len(b.terms))
 	}
-	for term, pa := range a.terms {
-		pb := b.terms[term]
-		if len(pa) != len(pb) {
-			t.Fatalf("term %q postings: %d vs %d", term, len(pa), len(pb))
+	for term, la := range a.terms {
+		lb := b.terms[term]
+		if lb == nil || la.count != lb.count {
+			t.Fatalf("term %q postings: %d vs %v", term, la.count, lb)
 		}
-		sa, sb := sortedTermPostings(pa), sortedTermPostings(pb)
+		sa, sb := la.sorted(), lb.sorted()
 		for i := range sa {
 			if sa[i] != sb[i] {
 				t.Fatalf("term %q posting %d: %+v vs %+v", term, i, sa[i], sb[i])
 			}
 		}
+		if la.maxW != lb.maxW {
+			t.Fatalf("term %q maxW: %g vs %g", term, la.maxW, lb.maxW)
+		}
 	}
 	if len(a.entities) != len(b.entities) {
 		t.Fatalf("entity counts: %d vs %d", len(a.entities), len(b.entities))
 	}
-	for e, pa := range a.entities {
-		pb := b.entities[e]
-		sa, sb := sortedEntityPostings(pa), sortedEntityPostings(pb)
+	for e, la := range a.entities {
+		lb := b.entities[e]
+		if lb == nil {
+			t.Fatalf("entity %d missing", e)
+		}
+		sa, sb := la.sorted(), lb.sorted()
 		if len(sa) != len(sb) {
 			t.Fatalf("entity %d postings: %d vs %d", e, len(sa), len(sb))
 		}
@@ -69,6 +75,9 @@ func assertIndexesEqual(t *testing.T, a, b *Index) {
 				math.Abs(sa[i].dScore-sb[i].dScore) > 0 {
 				t.Fatalf("entity %d posting %d: %+v vs %+v", e, i, sa[i], sb[i])
 			}
+		}
+		if la.maxW != lb.maxW {
+			t.Fatalf("entity %d maxW: %g vs %g", e, la.maxW, lb.maxW)
 		}
 	}
 }

@@ -1,0 +1,293 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"expertfind/internal/kb"
+)
+
+// v1Writer hand-encodes the original flat segment format (version 1):
+// flat delta-encoded postings, no skip entries. The current writer
+// only emits version 2, so compatibility with archived segments is
+// proven by encoding v1 here and reading it back.
+type v1Writer struct{ buf bytes.Buffer }
+
+func (w *v1Writer) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	w.buf.Write(b[:binary.PutUvarint(b[:], v)])
+}
+
+func (w *v1Writer) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.buf.Write(b[:])
+}
+
+func writeV1(ix *Index) []byte {
+	w := &v1Writer{}
+	w.buf.WriteString(codecMagic)
+	w.uvarint(1)
+
+	docs := make([]int64, 0, len(ix.docs))
+	for d := range ix.docs {
+		docs = append(docs, int64(d))
+	}
+	sortInt64s(docs)
+	w.uvarint(uint64(len(docs)))
+	prev := int64(0)
+	for i, d := range docs {
+		delta := d
+		if i > 0 {
+			delta = d - prev
+		}
+		w.uvarint(uint64(delta))
+		prev = d
+	}
+
+	terms := make([]string, 0, len(ix.terms))
+	for t := range ix.terms {
+		terms = append(terms, t)
+	}
+	sortStrings(terms)
+	w.uvarint(uint64(len(terms)))
+	for _, t := range terms {
+		w.uvarint(uint64(len(t)))
+		w.buf.WriteString(t)
+		ps := ix.terms[t].sorted()
+		w.uvarint(uint64(len(ps)))
+		prevDoc := int64(0)
+		for j, p := range ps {
+			delta := int64(p.doc)
+			if j > 0 {
+				delta = int64(p.doc) - prevDoc
+			}
+			w.uvarint(uint64(delta))
+			w.uvarint(uint64(p.tf))
+			prevDoc = int64(p.doc)
+		}
+	}
+
+	ents := make([]int64, 0, len(ix.entities))
+	for e := range ix.entities {
+		ents = append(ents, int64(e))
+	}
+	sortInt64s(ents)
+	w.uvarint(uint64(len(ents)))
+	for _, e := range ents {
+		w.uvarint(uint64(e))
+		ps := ix.entities[kb.EntityID(e)].sorted()
+		w.uvarint(uint64(len(ps)))
+		prevDoc := int64(0)
+		for j, p := range ps {
+			delta := int64(p.doc)
+			if j > 0 {
+				delta = int64(p.doc) - prevDoc
+			}
+			w.uvarint(uint64(delta))
+			w.uvarint(uint64(p.ef))
+			w.f64(p.dScore)
+			prevDoc = int64(p.doc)
+		}
+	}
+	return w.buf.Bytes()
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestCodecReadsV1 proves version-1 segments still load: the flat
+// postings are rebuilt into the blocked layout, equal to the original
+// index and scoring bit-identically (exhaustive and pruned).
+func TestCodecReadsV1(t *testing.T) {
+	ix := randomIndex(9, 400)
+	got, err := ReadIndex(bytes.NewReader(writeV1(ix)))
+	if err != nil {
+		t.Fatalf("reading v1 segment: %v", err)
+	}
+	assertIndexesEqual(t, ix, got)
+
+	need := fuzzNeed("swim pool train php", 17)
+	for _, alpha := range []float64{0, 0.6, 1} {
+		assertScoredBitIdentical(t, "v1 score", ix.Score(need, alpha), got.Score(need, alpha))
+		assertScoredBitIdentical(t, "v1 topk", ix.ScoreTopK(need, alpha, 5, nil), got.ScoreTopK(need, alpha, 5, nil))
+	}
+}
+
+// v2Segment hand-encodes a minimal version-2 segment so individual
+// fields can be corrupted precisely. The base layout is two docs
+// {5, 9}, one term "a" with postings (5, tf 2), (9, tf 1), and one
+// entity 3 with posting (5, ef 1, dScore 0.5); mutate tweaks one field
+// before encoding.
+type v2Segment struct {
+	nBlocksTerm   uint64 // block count declared for the term list
+	termCount     uint64 // postings count declared for the term list
+	blockN        uint64 // posting count declared for the term block
+	maxDocDelta   uint64 // declared block max doc (delta from base 0)
+	declMaxTF     uint64 // declared term block bound
+	byteLen       *int   // override the term block's byte length
+	firstDocDelta uint64 // first term posting's doc delta
+	secondDelta   uint64 // second term posting's doc delta (0 = regression)
+	entMaxW       float64
+	entDScore     float64
+	trailingByte  bool // append a stray byte inside the term block
+}
+
+func defaultV2() v2Segment {
+	return v2Segment{
+		nBlocksTerm: 1, termCount: 2, blockN: 2, maxDocDelta: 9, declMaxTF: 2,
+		firstDocDelta: 5, secondDelta: 4, entMaxW: 1.5, entDScore: 0.5,
+	}
+}
+
+func (s v2Segment) encode() []byte {
+	w := &v1Writer{}
+	w.buf.WriteString(codecMagic)
+	w.uvarint(2)
+	w.uvarint(2) // two docs: 5, 9
+	w.uvarint(5)
+	w.uvarint(4)
+
+	w.uvarint(1) // one term
+	w.uvarint(1)
+	w.buf.WriteString("a")
+	w.uvarint(s.termCount)
+	w.uvarint(s.nBlocksTerm)
+	w.uvarint(s.blockN)
+	w.uvarint(s.maxDocDelta)
+	w.uvarint(s.declMaxTF)
+	var block v1Writer
+	block.uvarint(s.firstDocDelta)
+	block.uvarint(2) // tf
+	block.uvarint(s.secondDelta)
+	block.uvarint(1) // tf
+	if s.trailingByte {
+		block.buf.WriteByte(0)
+	}
+	bl := block.buf.Len()
+	if s.byteLen != nil {
+		bl = *s.byteLen
+	}
+	w.uvarint(uint64(bl))
+	w.buf.Write(block.buf.Bytes())
+
+	w.uvarint(1) // one entity
+	w.uvarint(3)
+	w.uvarint(1) // count
+	w.uvarint(1) // blocks
+	w.uvarint(1) // block n
+	w.uvarint(5) // maxDocDelta
+	w.f64(s.entMaxW)
+	var eb v1Writer
+	eb.uvarint(5) // doc delta
+	eb.uvarint(1) // ef
+	eb.f64(s.entDScore)
+	w.uvarint(uint64(eb.buf.Len()))
+	w.buf.Write(eb.buf.Bytes())
+	return w.buf.Bytes()
+}
+
+// TestCodecV2RejectsBrokenSkipMetadata corrupts each load-bearing
+// field of a valid v2 segment in turn; the reader must reject every
+// variant — skip entries feed pruning proofs, so a segment whose
+// declared bounds disagree with its postings must never load.
+func TestCodecV2RejectsBrokenSkipMetadata(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader(defaultV2().encode())); err != nil {
+		t.Fatalf("baseline v2 segment must load: %v", err)
+	}
+	three := 3
+	huge := blockSize * 33
+	cases := []struct {
+		name    string
+		mutate  func(*v2Segment)
+		wantErr string
+	}{
+		{"wrong block count", func(s *v2Segment) { s.nBlocksTerm = 2 }, "blocks for"},
+		{"count above docs", func(s *v2Segment) { s.termCount = 3 }, "postings for"},
+		{"oversized block", func(s *v2Segment) { s.blockN = blockSize + 1 }, "oversized"},
+		{"short block", func(s *v2Segment) { s.blockN = 1 }, "want"},
+		{"wrong max doc", func(s *v2Segment) { s.maxDocDelta = 8 }, "declares max doc"},
+		{"implausible max doc", func(s *v2Segment) { s.maxDocDelta = 1 << 33 }, "implausible max doc"},
+		{"wrong bound", func(s *v2Segment) { s.declMaxTF = 1 }, "declares bound"},
+		{"trailing bytes", func(s *v2Segment) { s.trailingByte = true }, "trailing"},
+		{"byte length lies", func(s *v2Segment) { s.byteLen = &three }, "bad tf"},
+		{"implausible byte length", func(s *v2Segment) { s.byteLen = &huge }, "implausible byte length"},
+		{"doc regression", func(s *v2Segment) { s.secondDelta = 0 }, "strictly ascending"},
+		{"unknown doc", func(s *v2Segment) { s.firstDocDelta = 6 }, "unknown doc"},
+		{"wrong entity bound", func(s *v2Segment) { s.entMaxW = 2 }, "declares bound"},
+		{"entity dScore range", func(s *v2Segment) { s.entDScore = 1.5; s.entMaxW = 2.5 }, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := defaultV2()
+			tc.mutate(&s)
+			_, err := ReadIndex(bytes.NewReader(s.encode()))
+			if err == nil {
+				t.Fatalf("corrupted segment (%s) accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCodecRejectsUnsupportedVersion covers the version gate.
+func TestCodecRejectsUnsupportedVersion(t *testing.T) {
+	w := &v1Writer{}
+	w.buf.WriteString(codecMagic)
+	w.uvarint(3)
+	w.uvarint(0)
+	if _, err := ReadIndex(bytes.NewReader(w.buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("version 3 segment not rejected: %v", err)
+	}
+}
+
+// TestGlobalStatsScoring scores a shard slice under materialized
+// GlobalStats — the scatter coordinator's view — and requires the
+// merged pruned rankings to match the monolithic index, exhaustive
+// and top-k, through both the Sharded wrappers and the plain ones.
+func TestGlobalStatsScoring(t *testing.T) {
+	docs := randomDocs(71, 300, 0)
+	flat := flatFromDocs(docs)
+
+	// Materialize the global view the way the coordinator does.
+	g := GlobalStats{Docs: flat.NumDocs(), TermDF: map[string]int{}, EntityDF: map[kb.EntityID]int{}}
+	for term := range flat.terms {
+		g.TermDF[term] = flat.DocFreq(term)
+	}
+	for e := range flat.entities {
+		g.EntityDF[e] = flat.EntityFreq(e)
+	}
+
+	sharded := NewSharded(3)
+	sharded.AddBatch(docs)
+	need := fuzzNeed("swim pool train php copper", 23)
+	for _, alpha := range []float64{0, 0.6, 1} {
+		want := flat.Score(need, alpha)
+		assertScoredBitIdentical(t, "global stats", want, sharded.ScoreStats(need, alpha, g))
+		wantK := want
+		if len(wantK) > 7 {
+			wantK = wantK[:7]
+		}
+		assertScoredBitIdentical(t, "global stats topk", wantK, sharded.ScoreStatsTopK(need, alpha, g, 7, nil))
+		assertScoredBitIdentical(t, "global stats topk flat", wantK, flat.ScoreStatsTopK(need, alpha, g, 7, nil))
+	}
+}

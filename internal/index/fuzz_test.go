@@ -32,8 +32,8 @@ func FuzzReadIndex(f *testing.F) {
 		if ix.NumDocs() < 0 {
 			t.Fatal("negative doc count")
 		}
-		for term := range ix.terms {
-			if len(ix.terms[term]) > ix.NumDocs() {
+		for term, l := range ix.terms {
+			if l.count > ix.NumDocs() {
 				t.Fatalf("term %q has more postings than docs", term)
 			}
 		}
@@ -61,24 +61,25 @@ func fuzzNeed(needText string, entitySeed uint32) analysis.Analyzed {
 	return need
 }
 
-// FuzzIndexScore throws arbitrary needs and alphas at Score and
-// checks the ranking contract: ordered by (score desc, doc asc), all
-// scores positive and finite, every match indexed, byte-identical on
-// repetition, and bit-identical between the sequential index and a
-// 3-shard split of the same documents.
+// FuzzIndexScore throws arbitrary needs, alphas and ks at Score and
+// ScoreTopK and checks the ranking contract: ordered by (score desc,
+// doc asc), all scores positive and finite, every match indexed,
+// byte-identical on repetition, bit-identical between the sequential
+// index and a 3-shard split of the same documents, and the pruned
+// top-k bit-identical to the first k of the exhaustive ranking.
 func FuzzIndexScore(f *testing.F) {
 	// Seeds drawn from the synthetic corpus vocabulary and entity space.
-	f.Add("swim pool train", uint32(7), uint8(60))
-	f.Add("php code", uint32(0), uint8(0))
-	f.Add("copper atom wave unseenterm", uint32(49), uint8(100))
-	f.Add("", uint32(3), uint8(33))
+	f.Add("swim pool train", uint32(7), uint8(60), uint8(5))
+	f.Add("php code", uint32(0), uint8(0), uint8(0))
+	f.Add("copper atom wave unseenterm", uint32(49), uint8(100), uint8(1))
+	f.Add("", uint32(3), uint8(33), uint8(200))
 
 	corpus := randomDocs(1, 120, 0)
 	flat := flatFromDocs(corpus)
 	sharded := NewSharded(3)
 	sharded.AddBatch(corpus)
 
-	f.Fuzz(func(t *testing.T, needText string, entitySeed uint32, alphaByte uint8) {
+	f.Fuzz(func(t *testing.T, needText string, entitySeed uint32, alphaByte, kByte uint8) {
 		alpha := float64(alphaByte%101) / 100
 		need := fuzzNeed(needText, entitySeed)
 
@@ -96,7 +97,129 @@ func FuzzIndexScore(f *testing.F) {
 		}
 		assertScoredBitIdentical(t, "repeat", got, flat.Score(need, alpha))
 		assertScoredBitIdentical(t, "sharded", got, sharded.Score(need, alpha))
+
+		// Pruned top-k must be the first k of the exhaustive ranking,
+		// bit for bit, on both the monolith and the sharded split.
+		k := int(kByte)
+		want := got
+		if k > 0 && len(want) > k {
+			want = want[:k]
+		}
+		assertScoredBitIdentical(t, "topk", want, flat.ScoreTopK(need, alpha, k, nil))
+		assertScoredBitIdentical(t, "topk sharded", want, sharded.ScoreTopK(need, alpha, k, nil))
 	})
+}
+
+// FuzzBlockPostingsRoundTrip builds blocked posting lists from fuzzed
+// postings inserted in a fuzz-chosen rotation and checks the storage
+// contract the pruner relies on: the canonical encoding is
+// byte-identical regardless of insertion order, decoding returns
+// exactly the inserted postings, and every skip entry's (maxDoc, maxW)
+// bounds its block's members.
+func FuzzBlockPostingsRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 9, 0, 200}, uint8(0))
+	f.Add([]byte{0, 0, 0}, uint8(7))
+	f.Add(bytes.Repeat([]byte{5, 1, 128}, 300), uint8(130))
+
+	f.Fuzz(func(t *testing.T, data []byte, rot uint8) {
+		var tps []termPosting
+		var eps []entityPosting
+		doc := DocID(0)
+		for i := 0; i+2 < len(data) && len(tps) < 600; i += 3 {
+			doc += DocID(data[i]%13) + 1 // strictly ascending: one posting per doc
+			tf := int32(data[i+1]%7) + 1
+			tps = append(tps, termPosting{doc: doc, tf: tf})
+			eps = append(eps, entityPosting{doc: doc, ef: tf, dScore: float64(data[i+2]) / 255})
+		}
+		if len(tps) == 0 {
+			return
+		}
+
+		// Insert in a rotated order; the canonical form must not care.
+		tl, el := &termList{}, &entityList{}
+		r := int(rot) % len(tps)
+		for i := range tps {
+			j := (i + r) % len(tps)
+			tl.add(tps[j])
+			el.add(eps[j])
+		}
+		wantT := newTermList(tps)
+		wantE := newEntityList(eps)
+		ct, ce := tl.canonical(), el.canonical()
+		if !bytes.Equal(ct.data, wantT.data) {
+			t.Fatalf("term encoding differs by insertion order (rot %d, %d postings)", r, len(tps))
+		}
+		if !bytes.Equal(ce.data, wantE.data) {
+			t.Fatalf("entity encoding differs by insertion order (rot %d, %d postings)", r, len(tps))
+		}
+
+		// Decode round trip: sorted() must return the inserted postings.
+		gotT, gotE := tl.sorted(), el.sorted()
+		if len(gotT) != len(tps) || len(gotE) != len(eps) {
+			t.Fatalf("round trip lost postings: %d/%d term, %d/%d entity",
+				len(gotT), len(tps), len(gotE), len(eps))
+		}
+		for i := range tps {
+			if gotT[i] != tps[i] {
+				t.Fatalf("term posting %d: got %+v want %+v", i, gotT[i], tps[i])
+			}
+			if gotE[i] != eps[i] {
+				t.Fatalf("entity posting %d: got %+v want %+v", i, gotE[i], eps[i])
+			}
+		}
+
+		// Bound soundness: list and block maxima dominate their members.
+		checkTermBounds(t, ct)
+		checkEntityBounds(t, ce)
+	})
+}
+
+func checkTermBounds(t *testing.T, l *termList) {
+	t.Helper()
+	var scratch []termPosting
+	base := DocID(0)
+	for i, bm := range l.blocks {
+		scratch = l.decodeBlock(i, base, scratch[:0])
+		if len(scratch) != bm.n {
+			t.Fatalf("block %d decoded %d postings, skip entry says %d", i, len(scratch), bm.n)
+		}
+		for _, p := range scratch {
+			if p.doc > bm.maxDoc {
+				t.Fatalf("block %d: doc %d above skip maxDoc %d", i, p.doc, bm.maxDoc)
+			}
+			if w := float64(p.tf); w > bm.maxW || w > l.maxW {
+				t.Fatalf("block %d: weight %g above bounds (block %g, list %g)", i, w, bm.maxW, l.maxW)
+			}
+		}
+		if scratch[len(scratch)-1].doc != bm.maxDoc {
+			t.Fatalf("block %d: skip maxDoc %d, last doc %d", i, bm.maxDoc, scratch[len(scratch)-1].doc)
+		}
+		base = bm.maxDoc
+	}
+}
+
+func checkEntityBounds(t *testing.T, l *entityList) {
+	t.Helper()
+	var scratch []entityPosting
+	base := DocID(0)
+	for i, bm := range l.blocks {
+		scratch = l.decodeBlock(i, base, scratch[:0])
+		if len(scratch) != bm.n {
+			t.Fatalf("block %d decoded %d postings, skip entry says %d", i, len(scratch), bm.n)
+		}
+		for _, p := range scratch {
+			if p.doc > bm.maxDoc {
+				t.Fatalf("block %d: doc %d above skip maxDoc %d", i, p.doc, bm.maxDoc)
+			}
+			if w := entityWeight(p); w > bm.maxW || w > l.maxW {
+				t.Fatalf("block %d: weight %g above bounds (block %g, list %g)", i, w, bm.maxW, l.maxW)
+			}
+		}
+		if scratch[len(scratch)-1].doc != bm.maxDoc {
+			t.Fatalf("block %d: skip maxDoc %d, last doc %d", i, bm.maxDoc, scratch[len(scratch)-1].doc)
+		}
+		base = bm.maxDoc
+	}
 }
 
 // FuzzShardedMergeEquivalence builds two disjoint random corpora with

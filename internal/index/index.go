@@ -50,6 +50,14 @@ type DocID = socialgraph.ResourceID
 // needs to weight, match and persist a collection.
 type Searcher interface {
 	Score(need analysis.Analyzed, alpha float64) []ScoredDoc
+	// ScoreTopK is Score bounded to the k best-ranked documents:
+	// exactly Score's ranking truncated to its first k entries, byte
+	// for byte, but computed with MaxScore-style pruning that skips
+	// documents provably unable to enter the top k. k <= 0 disables
+	// the bound. accept, when non-nil, restricts scoring to accepted
+	// documents (the finder passes reachability membership), so the
+	// reference ranking is Score filtered by accept, then truncated.
+	ScoreTopK(need analysis.Analyzed, alpha float64, k int, accept func(DocID) bool) []ScoredDoc
 	NumDocs() int
 	Has(id DocID) bool
 	DocFreq(term string) int
@@ -67,6 +75,8 @@ type ParallelSearcher interface {
 	// concurrent shard scorers: 0 selects the index's own default,
 	// 1 forces fully sequential scoring.
 	ScoreWorkers(need analysis.Analyzed, alpha float64, workers int) []ScoredDoc
+	// ScoreTopKWorkers is ScoreTopK with the ScoreWorkers bound.
+	ScoreTopKWorkers(need analysis.Analyzed, alpha float64, workers, k int, accept func(DocID) bool) []ScoredDoc
 	// NumShards reports the shard count.
 	NumShards() int
 }
@@ -78,6 +88,9 @@ type ParallelSearcher interface {
 type StatsSearcher interface {
 	Searcher
 	ScoreStats(need analysis.Analyzed, alpha float64, st CollectionStats) []ScoredDoc
+	// ScoreStatsTopK is ScoreStats bounded to the k best-ranked
+	// documents under the accept filter (see Searcher.ScoreTopK).
+	ScoreStatsTopK(need analysis.Analyzed, alpha float64, st CollectionStats, k int, accept func(DocID) bool) []ScoredDoc
 }
 
 var (
@@ -102,20 +115,44 @@ type entityPosting struct {
 // Inverse resource frequencies reflect the collection at query time,
 // so documents can be added at any moment. Index is not safe for
 // concurrent mutation; concurrent Score calls are safe once building
-// is done.
+// is done (posting lists seal themselves during Add/Merge, never
+// during scoring).
+//
+// Posting lists are blocked: delta-encoded fixed-size blocks with
+// per-block skip entries (max doc id, max weightless score) plus a
+// small unsorted tail of recent additions — see blockpostings.go. The
+// skip entries feed the ScoreTopK pruner.
 type Index struct {
-	terms    map[string][]termPosting
-	entities map[kb.EntityID][]entityPosting
+	terms    map[string]*termList
+	entities map[kb.EntityID]*entityList
 	docs     map[DocID]struct{}
 }
 
 // New returns an empty index.
 func New() *Index {
 	return &Index{
-		terms:    make(map[string][]termPosting),
-		entities: make(map[kb.EntityID][]entityPosting),
+		terms:    make(map[string]*termList),
+		entities: make(map[kb.EntityID]*entityList),
 		docs:     make(map[DocID]struct{}),
 	}
+}
+
+func (ix *Index) termList(t string) *termList {
+	l := ix.terms[t]
+	if l == nil {
+		l = &termList{}
+		ix.terms[t] = l
+	}
+	return l
+}
+
+func (ix *Index) entityList(e kb.EntityID) *entityList {
+	l := ix.entities[e]
+	if l == nil {
+		l = &entityList{}
+		ix.entities[e] = l
+	}
+	return l
 }
 
 // Add indexes an analyzed resource under id. Adding the same id twice
@@ -126,10 +163,10 @@ func (ix *Index) Add(id DocID, a analysis.Analyzed) {
 	}
 	ix.docs[id] = struct{}{}
 	for t, tf := range a.Terms {
-		ix.terms[t] = append(ix.terms[t], termPosting{doc: id, tf: int32(tf)})
+		ix.termList(t).add(termPosting{doc: id, tf: int32(tf)})
 	}
 	for e, st := range a.Entities {
-		ix.entities[e] = append(ix.entities[e], entityPosting{doc: id, ef: int32(st.Freq), dScore: st.DScore})
+		ix.entityList(e).add(entityPosting{doc: id, ef: int32(st.Freq), dScore: st.DScore})
 	}
 }
 
@@ -145,11 +182,13 @@ func (ix *Index) Merge(other *Index) {
 		}
 		ix.docs[d] = struct{}{}
 	}
-	for t, ps := range other.terms {
-		ix.terms[t] = append(ix.terms[t], ps...)
+	for t, ol := range other.terms {
+		l := ix.termList(t)
+		ol.forEach(func(p termPosting) { l.add(p) })
 	}
-	for e, ps := range other.entities {
-		ix.entities[e] = append(ix.entities[e], ps...)
+	for e, ol := range other.entities {
+		l := ix.entityList(e)
+		ol.forEach(func(p entityPosting) { l.add(p) })
 	}
 }
 
@@ -163,10 +202,20 @@ func (ix *Index) Has(id DocID) bool {
 }
 
 // DocFreq returns the number of resources containing the term.
-func (ix *Index) DocFreq(term string) int { return len(ix.terms[term]) }
+func (ix *Index) DocFreq(term string) int {
+	if l := ix.terms[term]; l != nil {
+		return l.count
+	}
+	return 0
+}
 
 // EntityFreq returns the number of resources mentioning the entity.
-func (ix *Index) EntityFreq(e kb.EntityID) int { return len(ix.entities[e]) }
+func (ix *Index) EntityFreq(e kb.EntityID) int {
+	if l := ix.entities[e]; l != nil {
+		return l.count
+	}
+	return 0
+}
 
 // irf is the inverse resource frequency formula, log(1 + N/df),
 // shared by every stats provider so sequential and sharded scoring
@@ -179,7 +228,7 @@ func irf(numDocs, df int) float64 {
 // current collection: log(1 + N/df). Unseen terms contribute nothing
 // to matching, so their IRF is reported as 0.
 func (ix *Index) IRF(term string) float64 {
-	df := len(ix.terms[term])
+	df := ix.DocFreq(term)
 	if df == 0 {
 		return 0
 	}
@@ -188,7 +237,7 @@ func (ix *Index) IRF(term string) float64 {
 
 // EIRF returns the inverse resource frequency of an entity.
 func (ix *Index) EIRF(e kb.EntityID) float64 {
-	df := len(ix.entities[e])
+	df := ix.EntityFreq(e)
 	if df == 0 {
 		return 0
 	}
@@ -308,24 +357,32 @@ func (ix *Index) scorePlan(plan queryPlan) ([]ScoredDoc, int) {
 	postings := 0
 
 	for _, pt := range plan.terms {
-		ps := ix.terms[pt.term]
-		postings += len(ps)
-		for _, p := range ps {
-			scores[p.doc] += float64(p.tf) * pt.w
+		l := ix.terms[pt.term]
+		if l == nil {
+			continue
 		}
+		postings += l.count
+		w := pt.w
+		l.forEach(func(p termPosting) {
+			scores[p.doc] += float64(p.tf) * w
+		})
 	}
 	for _, pe := range plan.entities {
-		ps := ix.entities[pe.e]
-		postings += len(ps)
-		for _, p := range ps {
+		l := ix.entities[pe.e]
+		if l == nil {
+			continue
+		}
+		postings += l.count
+		w := pe.w
+		l.forEach(func(p entityPosting) {
 			// Eq. 2: we(e,r) = 1 + dScore when the entity was
 			// recognized with positive confidence.
 			we := 0.0
 			if p.dScore > 0 {
 				we = 1 + p.dScore
 			}
-			scores[p.doc] += float64(p.ef) * pe.w * we
-		}
+			scores[p.doc] += float64(p.ef) * w * we
+		})
 	}
 
 	out := make([]ScoredDoc, 0, len(scores))

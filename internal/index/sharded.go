@@ -82,17 +82,17 @@ func NewShardedFromIndex(ix *Index, n int) *Sharded {
 	for d := range ix.docs {
 		s.shards[s.shardFor(d)].ix.docs[d] = struct{}{}
 	}
-	for t, ps := range ix.terms {
-		for _, p := range ps {
-			six := s.shards[s.shardFor(p.doc)].ix
-			six.terms[t] = append(six.terms[t], p)
-		}
+	for t, l := range ix.terms {
+		t := t
+		l.forEach(func(p termPosting) {
+			s.shards[s.shardFor(p.doc)].ix.termList(t).add(p)
+		})
 	}
-	for e, ps := range ix.entities {
-		for _, p := range ps {
-			six := s.shards[s.shardFor(p.doc)].ix
-			six.entities[e] = append(six.entities[e], p)
-		}
+	for e, l := range ix.entities {
+		e := e
+		l.forEach(func(p entityPosting) {
+			s.shards[s.shardFor(p.doc)].ix.entityList(e).add(p)
+		})
 	}
 	return s
 }
@@ -232,7 +232,7 @@ func (s *Sharded) DocFreq(term string) int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += len(sh.ix.terms[term])
+		n += sh.ix.DocFreq(term)
 		sh.mu.RUnlock()
 	}
 	return n
@@ -244,7 +244,7 @@ func (s *Sharded) EntityFreq(e kb.EntityID) int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += len(sh.ix.entities[e])
+		n += sh.ix.EntityFreq(e)
 		sh.mu.RUnlock()
 	}
 	return n
@@ -297,39 +297,13 @@ func (s *Sharded) ScoreWorkers(need analysis.Analyzed, alpha float64, workers in
 // process scores only its own slice.
 func (s *Sharded) ScoreStatsWorkers(need analysis.Analyzed, alpha float64, st CollectionStats, workers int) []ScoredDoc {
 	plan := planQuery(need, alpha, st)
+	live := s.liveShards(plan)
 
-	n := len(s.shards)
-	if workers <= 0 {
-		workers = s.workers
-	}
-	if workers > n {
-		workers = n
-	}
-
-	partials := make([][]ScoredDoc, n)
-	counts := make([]int, n)
-	if workers <= 1 {
-		for i := range s.shards {
-			partials[i], counts[i] = s.scoreShard(i, plan)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1) - 1)
-					if i >= n {
-						return
-					}
-					partials[i], counts[i] = s.scoreShard(i, plan)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	partials := make([][]ScoredDoc, len(live))
+	counts := make([]int, len(live))
+	s.forEachLiveShard(live, workers, func(pos, i int) {
+		partials[pos], counts[pos] = s.scoreShard(i, plan)
+	})
 
 	out := mergeScored(partials)
 	postings := 0
@@ -340,6 +314,126 @@ func (s *Sharded) ScoreStatsWorkers(need analysis.Analyzed, alpha float64, st Co
 	mPostings.Add(float64(postings))
 	mMatches.Add(float64(len(out)))
 	return out
+}
+
+// ScoreTopK is Index.ScoreTopK for the sharded index: each live shard
+// runs its own pruned evaluation to a local top k, and the per-shard
+// prefixes k-way merge under scoredLess into the global prefix — a
+// document in the global top k is necessarily in its own shard's top
+// k, so the merged-and-truncated ranking is byte-identical to the
+// monolithic pruned (and hence exhaustive) ranking.
+func (s *Sharded) ScoreTopK(need analysis.Analyzed, alpha float64, k int, accept func(DocID) bool) []ScoredDoc {
+	return s.ScoreStatsTopKWorkers(need, alpha, s, 0, k, accept)
+}
+
+// ScoreTopKWorkers is ScoreTopK with the ScoreWorkers worker bound.
+func (s *Sharded) ScoreTopKWorkers(need analysis.Analyzed, alpha float64, workers, k int, accept func(DocID) bool) []ScoredDoc {
+	return s.ScoreStatsTopKWorkers(need, alpha, s, workers, k, accept)
+}
+
+// ScoreStatsTopK is ScoreTopK with the query planned against an
+// explicit collection view, satisfying StatsSearcher.
+func (s *Sharded) ScoreStatsTopK(need analysis.Analyzed, alpha float64, st CollectionStats, k int, accept func(DocID) bool) []ScoredDoc {
+	return s.ScoreStatsTopKWorkers(need, alpha, st, 0, k, accept)
+}
+
+// ScoreStatsTopKWorkers combines the explicit collection view, the
+// worker bound, and the top-k limit.
+func (s *Sharded) ScoreStatsTopKWorkers(need analysis.Analyzed, alpha float64, st CollectionStats, workers, k int, accept func(DocID) bool) []ScoredDoc {
+	plan := planQuery(need, alpha, st)
+	live := s.liveShards(plan)
+
+	partials := make([][]ScoredDoc, len(live))
+	counters := make([]topkCounters, len(live))
+	s.forEachLiveShard(live, workers, func(pos, i int) {
+		t0 := time.Now()
+		sh := s.shards[i]
+		sh.mu.RLock()
+		partials[pos], counters[pos] = sh.ix.scorePlanTopK(plan, k, accept)
+		sh.mu.RUnlock()
+		mShardScoreSeconds.With(strconv.Itoa(i)).ObserveSince(t0)
+	})
+
+	out := mergeScored(partials)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	var c topkCounters
+	for _, ci := range counters {
+		c.add(ci)
+	}
+	mQueries.Inc()
+	mPostings.Add(float64(c.postings))
+	mMatches.Add(float64(len(out)))
+	mPrunedDocs.Add(float64(c.pruned))
+	mBlocksSkipped.Add(float64(c.blocksSkipped))
+	return out
+}
+
+// liveShards returns the shards holding at least one posting of some
+// planned dimension — the actual work items of this query. Sizing the
+// worker pool off this list (rather than the total shard count) keeps
+// a narrow query — a single rare term, say — from spinning up a full
+// pool of workers that immediately find nothing to do.
+func (s *Sharded) liveShards(plan queryPlan) []int {
+	live := make([]int, 0, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		hit := false
+		for _, pt := range plan.terms {
+			if l := sh.ix.terms[pt.term]; l != nil && l.count > 0 {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			for _, pe := range plan.entities {
+				if l := sh.ix.entities[pe.e]; l != nil && l.count > 0 {
+					hit = true
+					break
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		if hit {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// forEachLiveShard runs fn(pos, shard) for every live shard on at most
+// workers concurrent goroutines; workers <= 0 selects the pool default
+// and the bound never exceeds the number of live shards.
+func (s *Sharded) forEachLiveShard(live []int, workers int, fn func(pos, shard int)) {
+	if workers <= 0 {
+		workers = s.workers
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+	if workers <= 1 {
+		for pos, i := range live {
+			fn(pos, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(next.Add(1) - 1)
+				if pos >= len(live) {
+					return
+				}
+				fn(pos, live[pos])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func (s *Sharded) scoreShard(i int, plan queryPlan) ([]ScoredDoc, int) {

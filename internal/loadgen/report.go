@@ -34,7 +34,11 @@ type PhaseResult struct {
 	// Cache maps result-cache dispositions (hit, miss, coalesced) to
 	// counts. Omitted entirely for uncached phases, so reports from
 	// runs without -cache-size stay byte-identical to pre-cache ones.
-	Cache           map[string]uint64 `json:"cache,omitempty"`
+	Cache map[string]uint64 `json:"cache,omitempty"`
+	// Index maps index-evaluation counters (pruned_docs,
+	// blocks_skipped) to the amount accumulated during the phase.
+	// Only the top-k head-to-head scenario records it.
+	Index           map[string]uint64 `json:"index,omitempty"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	QPS             float64           `json:"qps"`
 	Latency         Percentiles       `json:"latency_seconds"`

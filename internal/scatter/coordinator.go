@@ -337,6 +337,11 @@ func (c *Coordinator) Find(ctx context.Context, need string, rawParams url.Value
 		msp.End()
 		return nil, err
 	}
+	// Under a top-k bound every shard ships its local top k of the
+	// reachable set; the global top k is a prefix of their merge.
+	if k := p.TopK; k > 0 && len(merged) > k {
+		merged = merged[:k]
+	}
 	ranked := core.RankMerged(merged, p)
 	msp.SetAttr("lists", strconv.Itoa(len(lists)))
 	msp.SetAttr("experts", strconv.Itoa(len(ranked)))
