@@ -14,6 +14,8 @@
 //	         [-topk N] [-topk-requests N] [-require-topk-speedup]
 //	         [-chaos] [-chaos-transient F] [-chaos-ratelimit F]
 //	         [-chaos-latency D] [-chaos-requests N] [-chaos-duration D]
+//	         [-rolling-ingest] [-ingest-rounds N] [-ingest-requests N]
+//	         [-ingest-touch N]
 //	         [-addr URL] [-max-concurrent N] [-request-timeout D]
 //	         [-scatter] [-scatter-shards N] [-scatter-requests N]
 //	         [-scatter-verbose]
@@ -60,7 +62,22 @@
 // transients/rate-limits (and, against a small -max-concurrent
 // server, genuine load-shed 503s) show up in the error taxonomy
 // while the harness still exits 0 — shed load is correct behavior,
-// not a harness failure.
+// not a harness failure. With -cache-size too, the rolling corpus
+// swap (the chaos-outage not-ready flip) is followed by a
+// swap-recovered phase that re-attaches a fresh cache generation and
+// gates, unconditionally, that the server serves cache hits again
+// with a clean taxonomy — recovery after a swap is asserted, not
+// assumed.
+//
+// Rolling ingest. -rolling-ingest replaces the sim/real phases with
+// the live-delta scenario (cmd/loadtest/ingest.go): an identically
+// generated remote twin corpus is edited with df-preserving updates
+// between phases and re-ingested live through internal/ingest while a
+// result cache stays attached. Each delta phase gates that untouched
+// cache entries keep hitting (scoped, not wholesale, invalidation)
+// and that invalidated entries recompute; the final state must rank
+// bit-identically to a cold rebuild of the final remote corpus. The
+// report lands in BENCH_9.run.json unless -out is set explicitly.
 //
 // Scatter. -scatter replaces the sim/real phases with the
 // multi-process scatter-gather chaos scenario: it builds the real
@@ -130,6 +147,11 @@ type options struct {
 	chaosReq       int
 	chaosDur       time.Duration
 
+	rollingIngest bool
+	ingestRounds  int
+	ingestReq     int
+	ingestTouch   int
+
 	addr       string
 	maxConc    int
 	reqTimeout time.Duration
@@ -190,6 +212,11 @@ func parseFlags() *options {
 	flag.IntVar(&o.chaosReq, "chaos-requests", 240, "sim chaos phase size")
 	flag.DurationVar(&o.chaosDur, "chaos-duration", 3*time.Second, "real-mode chaos duration")
 
+	flag.BoolVar(&o.rollingIngest, "rolling-ingest", false, "run the live-delta rolling-ingest scenario instead of the sim/real phases")
+	flag.IntVar(&o.ingestRounds, "ingest-rounds", 3, "rolling-ingest delta rounds")
+	flag.IntVar(&o.ingestReq, "ingest-requests", 300, "requests per rolling-ingest phase")
+	flag.IntVar(&o.ingestTouch, "ingest-touch", 12, "resources edited per rolling-ingest delta")
+
 	flag.StringVar(&o.addr, "addr", "", "drive an existing server at this base URL instead of self-hosting")
 	flag.IntVar(&o.maxConc, "max-concurrent", 64, "self-hosted server concurrency cap (small values force load shedding)")
 	flag.DurationVar(&o.reqTimeout, "request-timeout", 5*time.Second, "per-request deadline")
@@ -229,6 +256,9 @@ func main() {
 	if o.topK > 0 {
 		os.Exit(runTopK(o))
 	}
+	if o.rollingIngest {
+		os.Exit(runIngest(o))
+	}
 
 	sys := buildSystem(o)
 	rep := run(o, sys)
@@ -241,6 +271,9 @@ func main() {
 	code := 0
 	if o.requireSpeedup {
 		code |= cacheGate(rep)
+	}
+	if o.chaos && o.cacheSize > 0 {
+		code |= swapGate(rep)
 	}
 	if o.baseline != "" {
 		if _, err := os.Stat(o.baseline); os.IsNotExist(err) {
@@ -328,6 +361,19 @@ func run(o *options, sys *expertfind.System) *loadgen.Report {
 			handler.SetSystem(nil)
 			results = append(results, runner.Run(outagePhase(o))...)
 			handler.SetSystem(sys)
+			if o.cacheSize > 0 {
+				// Swap recovery: the server is ready again — prove the
+				// swap didn't strand result caching. A fresh cache
+				// generation is attached and the same Zipf stream
+				// continues; swapGate requires this phase to serve
+				// hits again with a clean error taxonomy.
+				cache := rescache.New(rescache.Options{
+					Capacity: o.cacheSize, TTL: o.cacheTTL, Clock: clock,
+				})
+				sys.SetResultCache(cache.Attach())
+				results = append(results, runner.Run(swapRecoveredPhase(o))...)
+				sys.SetResultCache(nil)
+			}
 		}
 		rep.Drivers = append(rep.Drivers, loadgen.DriverReport{Driver: driver, Phases: results})
 		cleanup()
@@ -346,6 +392,16 @@ func cachedPhase(o *options) loadgen.Phase {
 		return loadgen.Phase{Name: "cached-steady", Requests: o.cachedReq, Concurrency: 1}
 	}
 	return loadgen.Phase{Name: "cached-steady", Duration: o.steadyDur, Concurrency: o.concurrency}
+}
+
+// swapRecoveredPhase continues steady-level load after the corpus
+// swap with a fresh cache generation attached. Sim mode runs it at
+// concurrency 1 for the same determinism reason as cachedPhase.
+func swapRecoveredPhase(o *options) loadgen.Phase {
+	if o.mode == "sim" {
+		return loadgen.Phase{Name: "swap-recovered", Requests: o.cachedReq, Concurrency: 1}
+	}
+	return loadgen.Phase{Name: "swap-recovered", Duration: o.chaosDur / 2, Concurrency: o.concurrency}
 }
 
 // outagePhase drives steady-level load into the not-ready server.
@@ -504,6 +560,43 @@ func gate(basePath, curPath string, maxRegress float64) int {
 	}
 	log.Printf("SLO gate passed (steady p95 and qps within %.0f%% of %s)", maxRegress*100, basePath)
 	return 0
+}
+
+// swapGate closes the rolling-corpus-swap blind spot: every driver
+// that ran the chaos-outage phase must follow it with a swap-recovered
+// phase that served cache hits again under a clean error taxonomy —
+// the swap must not leave the server shedding or permanently cold.
+func swapGate(rep *loadgen.Report) int {
+	code := 0
+	checked := false
+	for i := range rep.Drivers {
+		d := &rep.Drivers[i]
+		if d.Phase("chaos-outage") == nil {
+			continue
+		}
+		checked = true
+		rec := d.Phase("swap-recovered")
+		if rec == nil {
+			log.Printf("SWAP GATE: driver %s: chaos-outage ran but no swap-recovered phase followed", d.Driver)
+			code = 1
+			continue
+		}
+		if n := rec.ErrorCount(); n > 0 {
+			log.Printf("SWAP GATE: driver %s: %d errors after the corpus swap: %v", d.Driver, n, rec.Errors)
+			code = 1
+		}
+		if rec.Cache["hit"] == 0 {
+			log.Printf("SWAP GATE: driver %s: no cache hits after the corpus swap (cache=%v)", d.Driver, rec.Cache)
+			code = 1
+		} else {
+			log.Printf("swap gate passed: driver %s served %d cache hits after the corpus swap",
+				d.Driver, rec.Cache["hit"])
+		}
+	}
+	if !checked {
+		log.Printf("swap gate: no driver ran the chaos-outage phase (remote -addr run?); nothing to check")
+	}
+	return code
 }
 
 // cacheGate enforces -require-cache-speedup: every driver's

@@ -11,9 +11,25 @@
 //	      [-log-format text|json] [-log-level L] [-log-stamp=false]
 //	      [-slo-latency D] [-slo-availability F] [-slo-window D]
 //	      [-slo-burn-alert F] [-pprof-dir DIR]
+//	      [-ingest-interval D] [-ingest-seed N] [-ingest-adds N]
+//	      [-ingest-updates N] [-ingest-removes N] [-ingest-transient F]
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
+//
+// With -ingest-interval > 0, the server runs continuous ingest
+// (internal/ingest): a same-ID remote replica of the generated corpus
+// is churned every interval (-ingest-adds/-updates/-removes operations
+// per round, update-only by default so collection statistics stay
+// fixed and scoped cache invalidation can preserve untouched entries),
+// re-fetched through the fault-injecting platform API
+// (-ingest-transient sets the injected transient-failure rate), and
+// the delta is applied live to the serving graph and index —
+// rankings after any round are bit-identical to a cold rebuild.
+// /v1/ingest/status reports the cumulative counters. Continuous
+// ingest requires the generated corpus: it is refused together with
+// -corpus (no remote twin exists for a snapshot) or -shard-count (a
+// shard serves a document slice; deltas carry the whole corpus).
 //
 // With -topk N, /v1/find and /v1/bestnetwork requests that do not
 // pass their own topk parameter bound resource matching to the N
@@ -64,7 +80,10 @@ import (
 	"time"
 
 	"expertfind"
+	"expertfind/internal/dataset"
+	"expertfind/internal/faults"
 	"expertfind/internal/httpapi"
+	"expertfind/internal/ingest"
 	"expertfind/internal/rescache"
 	"expertfind/internal/slo"
 	"expertfind/internal/telemetry"
@@ -93,6 +112,12 @@ func main() {
 	sloWindow := flag.Duration("slo-window", 5*time.Minute, "sliding window for SLO burn rates")
 	sloBurnAlert := flag.Float64("slo-burn-alert", 4, "burn rate that triggers an on-breach profile capture")
 	pprofDir := flag.String("pprof-dir", "", "directory for on-breach pprof captures (empty disables capturing)")
+	ingestInterval := flag.Duration("ingest-interval", 0, "continuous-ingest round interval (0 disables; requires the generated corpus)")
+	ingestSeed := flag.Int64("ingest-seed", 1, "remote churn and fault-injection seed")
+	ingestAdds := flag.Int("ingest-adds", 0, "remote resources added per churn round")
+	ingestUpdates := flag.Int("ingest-updates", 8, "remote resources edited per churn round")
+	ingestRemoves := flag.Int("ingest-removes", 0, "remote resources deleted per churn round")
+	ingestTransient := flag.Float64("ingest-transient", 0, "injected transient-failure rate on remote fetches")
 	flag.Parse()
 
 	logger, err := telemetry.NewLogger(os.Stderr, telemetry.LogConfig{
@@ -105,6 +130,11 @@ func main() {
 	fatalf := func(msg string, args ...any) {
 		logger.Error(msg, args...)
 		os.Exit(1)
+	}
+
+	if *ingestInterval > 0 && (*corpus != "" || *shardCount > 0) {
+		fatalf("continuous ingest requires the generated corpus",
+			"corpus", *corpus, "shard_count", *shardCount)
 	}
 
 	var shard *httpapi.ShardOptions
@@ -186,6 +216,48 @@ func main() {
 				"resources", st.Resources, "index_shards", st.IndexShards)
 		}
 		handler.SetSystem(sys)
+
+		if *ingestInterval > 0 {
+			// The remote twin: the same generator configuration yields a
+			// same-ID replica of the corpus just installed, which the
+			// churn driver then evolves like a live platform.
+			remote := dataset.Generate(dataset.Config{
+				Seed: *seed, Scale: *scale, IndexShards: *indexShards,
+			})
+			icfg := ingest.Config{
+				API: faults.Wrap(remote.Graph, faults.Config{
+					Seed: *ingestSeed, TransientRate: *ingestTransient,
+				}),
+				Logger: logger,
+				Tracer: tracer,
+			}
+			if cache != nil {
+				icfg.Cache = cache
+			}
+			ing, err := sys.NewIngester(icfg)
+			if err != nil {
+				fatalf("ingest setup failed", "err", err.Error())
+			}
+			handler.SetIngester(ing)
+			churn := ingest.NewChurn(remote.Graph, ingest.ChurnConfig{
+				Seed:    *ingestSeed,
+				Adds:    *ingestAdds,
+				Updates: *ingestUpdates,
+				Removes: *ingestRemoves,
+			})
+			logger.Info("continuous ingest enabled",
+				"interval", ingestInterval.String(),
+				"adds", *ingestAdds, "updates", *ingestUpdates, "removes", *ingestRemoves)
+			go func() {
+				for range time.Tick(*ingestInterval) {
+					churn.Round()
+					// An aborted round (injected fetch failure) changes
+					// nothing and is retried from scratch next tick; the
+					// churn already applied stays visible to that retry.
+					_, _ = ing.RunOnce(context.Background())
+				}
+			}()
+		}
 	}()
 
 	// WriteTimeout must outlast the request deadline so the 503 the

@@ -37,6 +37,7 @@ import (
 	"expertfind/internal/dataset"
 	"expertfind/internal/experiments"
 	"expertfind/internal/index"
+	"expertfind/internal/ingest"
 	"expertfind/internal/kb"
 	"expertfind/internal/socialgraph"
 )
@@ -377,6 +378,29 @@ func (s *System) FindCachedContext(ctx context.Context, need string, opts ...Fin
 // instead of calling this directly.
 func (s *System) SetResultCache(c core.ResultCache) {
 	s.inner.Finder.SetResultCache(c)
+}
+
+// NewIngester wires a continuous-ingest driver (internal/ingest) onto
+// this system: cfg needs only the remote surface (API) plus optional
+// cache/retry/observability hooks — the installed graph, live sharded
+// index, analysis pipeline and this system's finder are filled in
+// here. The driver's RunOnce re-fetches the remote corpus, diffs it
+// against the installed one and applies the delta live; rankings after
+// any round are bit-identical to a cold rebuild of the remote state.
+// It returns an error when the system's index is not the live sharded
+// kind deltas can be applied to. Scatter shard-slice systems must not
+// be ingested into: a delta carries the whole corpus, not the slice
+// (cmd/serve refuses the flag combination).
+func (s *System) NewIngester(cfg ingest.Config) (*ingest.Ingester, error) {
+	sharded, ok := s.inner.Finder.Index().(*index.Sharded)
+	if !ok {
+		return nil, fmt.Errorf("expertfind: index %T does not accept live deltas", s.inner.Finder.Index())
+	}
+	cfg.Graph = s.inner.DS.Graph
+	cfg.Index = sharded
+	cfg.Pipe = s.inner.Finder.Pipeline()
+	cfg.Finders = append(cfg.Finders, s.inner.Finder)
+	return ingest.New(cfg), nil
 }
 
 // ResolveParams converts Find options into the resolved internal

@@ -561,6 +561,17 @@ func (f *Finder) reachability(opts socialgraph.TraversalOptions) map[socialgraph
 	return rcm
 }
 
+// InvalidateTraversal drops every cached reachability map. A live
+// ingest must call it after mutating the graph: the maps are cached
+// forever on the assumption of a frozen graph, and a stale map would
+// hide newly added resources from ranking (or keep attributing removed
+// ones). The next query per traversal configuration rebuilds its map.
+func (f *Finder) InvalidateTraversal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.rcmCache)
+}
+
 func traversalKey(opts socialgraph.TraversalOptions) string {
 	nets := make([]string, len(opts.Networks))
 	for i, n := range opts.Networks {

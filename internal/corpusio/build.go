@@ -59,6 +59,12 @@ func BuildShardSlice(g *socialgraph.Graph, pipe *analysis.Pipeline, shards, shar
 				if shardCount > 1 && index.ShardRoute(socialgraph.ResourceID(i), shardCount) != shardID {
 					continue
 				}
+				// Tombstoned resources stay out of the index, so a cold
+				// rebuild of a delta-mutated graph matches the
+				// delta-applied index exactly.
+				if g.ResourceDeleted(socialgraph.ResourceID(i)) {
+					continue
+				}
 				r := g.Resource(socialgraph.ResourceID(i))
 				a, ok := pipe.Analyze(r.Text, r.URLs)
 				results[i] = result{a: a, ok: ok}

@@ -299,9 +299,15 @@ func (in *Injector) FetchUser(u socialgraph.UserID, net socialgraph.Network) (*U
 }
 
 // streamOn resolves the resource records of ids that live on net.
+// Tombstoned resources are omitted — a deleted post disappears from
+// the platform's responses, which is how a re-crawling ingester
+// detects the deletion.
 func (in *Injector) streamOn(ids []socialgraph.ResourceID, net socialgraph.Network) []socialgraph.Resource {
 	var out []socialgraph.Resource
 	for _, rid := range ids {
+		if in.g.ResourceDeleted(rid) {
+			continue
+		}
 		if r := in.g.Resource(rid); r.Network == net {
 			out = append(out, r)
 		}
@@ -316,6 +322,13 @@ func (in *Injector) FetchContainer(c socialgraph.ContainerID, limit int) (*Conta
 		return nil, err
 	}
 	feed := in.g.ContainedResources(c)
+	live := feed[:0:0]
+	for _, rid := range feed {
+		if !in.g.ResourceDeleted(rid) {
+			live = append(live, rid)
+		}
+	}
+	feed = live
 	view := &ContainerView{
 		Container: cont,
 		Desc:      in.g.Resource(cont.Desc),

@@ -18,6 +18,8 @@
 //	GET /v1/find?q=...           ranked experts for an expertise need
 //	GET /v1/bestnetwork?q=...    best platform + per-network rankings
 //	GET /v1/explain?q=...&expert=N  evidence behind one expert's rank
+//	GET /v1/ingest/status        continuous-ingest counters (404 when
+//	                             no ingester is attached; see SetIngester)
 //
 // With Options.Debug, net/http/pprof is mounted under /debug/pprof/
 // and expvar under /debug/vars.
@@ -51,6 +53,7 @@ import (
 	"time"
 
 	"expertfind"
+	"expertfind/internal/ingest"
 	"expertfind/internal/slo"
 	"expertfind/internal/telemetry"
 )
@@ -58,6 +61,7 @@ import (
 // Handler serves the JSON API over a System.
 type Handler struct {
 	sys    atomic.Pointer[expertfind.System]
+	ing    atomic.Pointer[ingest.Ingester]
 	mux    *http.ServeMux
 	opts   Options
 	sem    chan struct{}
@@ -109,6 +113,10 @@ func NewWithOptions(sys *expertfind.System, opts Options) *Handler {
 	h.mux.HandleFunc("GET /v1/find", h.v1(h.find))
 	h.mux.HandleFunc("GET /v1/bestnetwork", h.v1(h.bestNetwork))
 	h.mux.HandleFunc("GET /v1/explain", h.v1(h.explain))
+	// The ingest status endpoint sits outside the v1 guard: the
+	// counters are ops state, meaningful even while the corpus is
+	// rebuilding or the concurrency cap is saturated.
+	h.mux.HandleFunc("GET /v1/ingest/status", h.ingestStatus)
 	if opts.Shard != nil {
 		h.mux.HandleFunc("GET /v1/shard/meta", h.v1(h.shardMeta))
 		h.mux.HandleFunc("GET /v1/shard/stats", h.v1(h.shardStats))
@@ -153,6 +161,23 @@ func (h *Handler) SetSystem(sys *expertfind.System) {
 		}
 	}
 	h.sys.Store(sys)
+}
+
+// SetIngester attaches (or, with nil, detaches) the continuous-ingest
+// driver whose cumulative counters /v1/ingest/status serves. Without
+// one the endpoint answers 404, so probes can tell "ingest disabled"
+// from "no rounds yet".
+func (h *Handler) SetIngester(ing *ingest.Ingester) {
+	h.ing.Store(ing)
+}
+
+func (h *Handler) ingestStatus(w http.ResponseWriter, r *http.Request) {
+	ing := h.ing.Load()
+	if ing == nil {
+		writeError(w, r, http.StatusNotFound, "ingest not enabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, ing.Status())
 }
 
 // ServeHTTP implements http.Handler.

@@ -170,6 +170,86 @@ func (ix *Index) Add(id DocID, a analysis.Analyzed) {
 	}
 }
 
+// Remove deletes a previously indexed resource. a must be the
+// analyzed form the document was added under (analysis is
+// deterministic, so callers either retain it or re-analyze the
+// installed text). Every touched posting list is rebuilt into
+// canonical sealed blocks with its maxima recomputed, and lists left
+// empty are dropped from the maps entirely — the index is
+// indistinguishable from one that never saw the document, so a
+// delta-applied index serializes byte-identically to a cold rebuild.
+// Removing an unknown document, or one whose postings are missing
+// from a list, is a programming error and panics.
+func (ix *Index) Remove(id DocID, a analysis.Analyzed) {
+	if _, ok := ix.docs[id]; !ok {
+		panic("index: removing unknown document")
+	}
+	delete(ix.docs, id)
+	for t := range a.Terms {
+		l := ix.terms[t]
+		if l == nil {
+			panic("index: removing posting from absent term list")
+		}
+		kept, found := dropTermPosting(l.decodeAll(), id)
+		if !found {
+			panic("index: term posting missing on remove")
+		}
+		if len(kept) == 0 {
+			delete(ix.terms, t)
+			continue
+		}
+		ix.terms[t] = newTermList(kept)
+	}
+	for e := range a.Entities {
+		l := ix.entities[e]
+		if l == nil {
+			panic("index: removing posting from absent entity list")
+		}
+		kept, found := dropEntityPosting(l.decodeAll(), id)
+		if !found {
+			panic("index: entity posting missing on remove")
+		}
+		if len(kept) == 0 {
+			delete(ix.entities, e)
+			continue
+		}
+		ix.entities[e] = newEntityList(kept)
+	}
+}
+
+// dropTermPosting filters doc id out of ps in place, reporting whether
+// it was present.
+func dropTermPosting(ps []termPosting, id DocID) ([]termPosting, bool) {
+	kept, found := ps[:0], false
+	for _, p := range ps {
+		if p.doc == id {
+			found = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, found
+}
+
+func dropEntityPosting(ps []entityPosting, id DocID) ([]entityPosting, bool) {
+	kept, found := ps[:0], false
+	for _, p := range ps {
+		if p.doc == id {
+			found = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, found
+}
+
+// Update replaces the indexed form of a document: old must be the
+// analyzed form it was added under, new becomes its indexed form.
+func (ix *Index) Update(id DocID, old, new analysis.Analyzed) {
+	ix.Remove(id, old)
+	ix.Add(id, new)
+}
+
 // Merge folds another index into this one. The document sets must be
 // disjoint (each resource is analyzed exactly once); overlapping
 // documents cause a panic like a duplicate Add would. Merging

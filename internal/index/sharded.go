@@ -51,7 +51,19 @@ type shard struct {
 // Unlike Index, Sharded is safe for concurrent use: Add/Merge take a
 // per-shard write lock, queries take read locks. A Score overlapping
 // a mutation sees some consistent-per-shard interleaving of the two.
+// ApplyDelta is stronger: it holds the collection-wide write lock, so
+// queries running through the whole-collection entry points (Score,
+// ScoreTopK and their variants, Flatten/WriteTo) observe either the
+// entire delta or none of it — never a torn mix of plan statistics
+// and postings.
 type Sharded struct {
+	// global orders whole-collection operations against deltas:
+	// ApplyDelta write-holds it, the Score entry points and
+	// Flatten/WriteTo read-hold it for their full duration, and the
+	// incremental mutators (Add/AddBatch/Merge) read-hold it so they
+	// keep running concurrently with each other as before. Lock order
+	// is always global before shard.
+	global  sync.RWMutex
 	shards  []*shard
 	workers int
 }
@@ -125,16 +137,91 @@ func (s *Sharded) shardFor(d DocID) int {
 // shard the document routes to. Adding the same id twice panics, as
 // with Index.Add.
 func (s *Sharded) Add(id DocID, a analysis.Analyzed) {
+	s.global.RLock()
+	defer s.global.RUnlock()
 	sh := s.shards[s.shardFor(id)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.ix.Add(id, a)
 }
 
+// Remove deletes a previously indexed resource (see Index.Remove),
+// locking only the one shard the document routes to.
+func (s *Sharded) Remove(id DocID, a analysis.Analyzed) {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	sh := s.shards[s.shardFor(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.ix.Remove(id, a)
+}
+
+// Update replaces the indexed form of a document (see Index.Update),
+// locking only the one shard the document routes to.
+func (s *Sharded) Update(id DocID, old, new analysis.Analyzed) {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	sh := s.shards[s.shardFor(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.ix.Update(id, old, new)
+}
+
+// DocUpdate pairs a document with its previously indexed analyzed
+// form and its replacement: the unit of in-place change in a Delta.
+type DocUpdate struct {
+	ID       DocID
+	Old, New analysis.Analyzed
+}
+
+// Delta is one atomic batch of index mutations. Removes carry the
+// analyzed form the document was added under, exactly like
+// Index.Remove.
+type Delta struct {
+	Adds    []Doc
+	Updates []DocUpdate
+	Removes []Doc
+}
+
+// Empty reports whether the delta carries no mutations.
+func (d Delta) Empty() bool {
+	return len(d.Adds) == 0 && len(d.Updates) == 0 && len(d.Removes) == 0
+}
+
+// ApplyDelta applies removes, updates and adds as one atomic step
+// under the collection-wide write lock: a concurrent query through the
+// Score entry points ranks against either the pre-delta or the
+// post-delta collection, never a mix. Per-shard locks are still taken
+// (the fine-grained stats readers do not hold the global lock).
+func (s *Sharded) ApplyDelta(d Delta) {
+	s.global.Lock()
+	defer s.global.Unlock()
+	for _, r := range d.Removes {
+		sh := s.shards[s.shardFor(r.ID)]
+		sh.mu.Lock()
+		sh.ix.Remove(r.ID, r.A)
+		sh.mu.Unlock()
+	}
+	for _, u := range d.Updates {
+		sh := s.shards[s.shardFor(u.ID)]
+		sh.mu.Lock()
+		sh.ix.Update(u.ID, u.Old, u.New)
+		sh.mu.Unlock()
+	}
+	for _, a := range d.Adds {
+		sh := s.shards[s.shardFor(a.ID)]
+		sh.mu.Lock()
+		sh.ix.Add(a.ID, a.A)
+		sh.mu.Unlock()
+	}
+}
+
 // AddBatch bulk-indexes docs with one goroutine per shard: documents
 // are bucketed by route first, then every shard is populated by a
 // single writer, so the build parallelizes without lock contention.
 func (s *Sharded) AddBatch(docs []Doc) {
+	s.global.RLock()
+	defer s.global.RUnlock()
 	buckets := make([][]Doc, len(s.shards))
 	for _, d := range docs {
 		i := s.shardFor(d.ID)
@@ -163,23 +250,37 @@ func (s *Sharded) AddBatch(docs []Doc) {
 // counts merge shard-pairwise — the hash routing is identical — while
 // differing counts re-route every posting individually.
 func (s *Sharded) Merge(other *Sharded) {
-	if len(other.shards) == len(s.shards) {
-		for i, sh := range s.shards {
-			osh := other.shards[i]
-			sh.mu.Lock()
-			osh.mu.RLock()
-			sh.ix.Merge(osh.ix)
-			osh.mu.RUnlock()
-			sh.mu.Unlock()
-		}
+	flat := (*Index)(nil)
+	if len(other.shards) != len(s.shards) {
+		flat = other.Flatten()
+	}
+	s.global.RLock()
+	defer s.global.RUnlock()
+	if flat != nil {
+		s.mergeIndex(flat)
 		return
 	}
-	s.MergeIndex(other.Flatten())
+	for i, sh := range s.shards {
+		osh := other.shards[i]
+		sh.mu.Lock()
+		osh.mu.RLock()
+		sh.ix.Merge(osh.ix)
+		osh.mu.RUnlock()
+		sh.mu.Unlock()
+	}
 }
 
 // MergeIndex folds a monolithic index into this one, routing each
 // document to its shard. Document sets must be disjoint.
 func (s *Sharded) MergeIndex(other *Index) {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	s.mergeIndex(other)
+}
+
+// mergeIndex is MergeIndex without the global lock; the caller holds
+// it.
+func (s *Sharded) mergeIndex(other *Index) {
 	routed := NewShardedFromIndex(other, len(s.shards))
 	for i, sh := range s.shards {
 		sh.mu.Lock()
@@ -189,8 +290,11 @@ func (s *Sharded) MergeIndex(other *Index) {
 }
 
 // Flatten merges every shard into one monolithic Index (a copy; the
-// shards are not aliased).
+// shards are not aliased). It holds the collection-wide read lock, so
+// the copy is a consistent snapshot with respect to ApplyDelta.
 func (s *Sharded) Flatten() *Index {
+	s.global.RLock()
+	defer s.global.RUnlock()
 	out := New()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -296,6 +400,8 @@ func (s *Sharded) ScoreWorkers(need analysis.Analyzed, alpha float64, workers in
 // plans against cross-process global statistics while each shard
 // process scores only its own slice.
 func (s *Sharded) ScoreStatsWorkers(need analysis.Analyzed, alpha float64, st CollectionStats, workers int) []ScoredDoc {
+	s.global.RLock()
+	defer s.global.RUnlock()
 	plan := planQuery(need, alpha, st)
 	live := s.liveShards(plan)
 
@@ -340,6 +446,8 @@ func (s *Sharded) ScoreStatsTopK(need analysis.Analyzed, alpha float64, st Colle
 // ScoreStatsTopKWorkers combines the explicit collection view, the
 // worker bound, and the top-k limit.
 func (s *Sharded) ScoreStatsTopKWorkers(need analysis.Analyzed, alpha float64, st CollectionStats, workers, k int, accept func(DocID) bool) []ScoredDoc {
+	s.global.RLock()
+	defer s.global.RUnlock()
 	plan := planQuery(need, alpha, st)
 	live := s.liveShards(plan)
 

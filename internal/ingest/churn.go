@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"math/rand"
+	"strings"
+
+	"expertfind/internal/socialgraph"
+)
+
+// ChurnConfig sets the per-round operation mix of a Churn driver.
+type ChurnConfig struct {
+	// Seed drives all randomness; equal seeds against equal graphs
+	// produce identical churn sequences.
+	Seed int64
+	// Adds, Updates and Removes are the operations attempted per
+	// round. An update-only mix (Adds = Removes = 0) keeps collection
+	// statistics fixed, which is what lets scoped cache invalidation
+	// preserve entries across rounds.
+	Adds    int
+	Updates int
+	Removes int
+}
+
+// ChurnStats counts what one round actually did.
+type ChurnStats struct {
+	Adds    int
+	Updates int
+	Removes int
+}
+
+// Churn mutates a remote graph the way a live platform does between
+// crawls: posts appear, get edited, and disappear. It drives the
+// graph behind a faults API so an Ingester has something real to
+// diff against; tests and the load harness use it as the write side
+// of rolling-ingest scenarios.
+//
+// Adds are standalone resources (posts, tweets, updates) recorded
+// with their creates edge, so they surface in the creator's streams.
+// Updates rewrite the text of any live resource — profiles and
+// container descriptions included — by splicing words from another
+// live resource, which keeps the corpus inside the analysis
+// pipeline's language filter. Removes tombstone live resources,
+// excluding profiles and container descriptions (platforms do not
+// delete those, and the ingest diff treats their absence as an
+// incomplete catalog).
+type Churn struct {
+	g   *socialgraph.Graph
+	rng *rand.Rand
+	cfg ChurnConfig
+}
+
+// NewChurn returns a churn driver over the remote graph g.
+func NewChurn(g *socialgraph.Graph, cfg ChurnConfig) *Churn {
+	return &Churn{g: g, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Round applies one round of the configured mix. Operations are
+// skipped (not retried) when no eligible resource remains.
+func (c *Churn) Round() ChurnStats {
+	var st ChurnStats
+	live := c.liveResources()
+	for i := 0; i < c.cfg.Updates && len(live) > 0; i++ {
+		id := live[c.rng.Intn(len(live))]
+		donor := live[c.rng.Intn(len(live))]
+		r := c.g.Resource(id)
+		text := c.mutateText(r.Text, c.g.Resource(donor).Text)
+		c.g.SetResourceText(id, text, r.URLs...)
+		st.Updates++
+	}
+	removable := c.removableResources(live)
+	for i := 0; i < c.cfg.Removes && len(removable) > 0; i++ {
+		j := c.rng.Intn(len(removable))
+		c.g.RemoveResource(removable[j])
+		removable[j] = removable[len(removable)-1]
+		removable = removable[:len(removable)-1]
+		st.Removes++
+	}
+	live = c.liveResources()
+	users := c.g.NumUsers()
+	for i := 0; i < c.cfg.Adds && len(live) > 0 && users > 0; i++ {
+		creator := socialgraph.UserID(c.rng.Intn(users))
+		net := socialgraph.Networks[c.rng.Intn(len(socialgraph.Networks))]
+		donor := c.g.Resource(live[c.rng.Intn(len(live))])
+		text := c.mutateText(donor.Text, c.g.Resource(live[c.rng.Intn(len(live))]).Text)
+		c.g.AddResource(net, kindFor(net), creator, text)
+		st.Adds++
+	}
+	return st
+}
+
+// kindFor maps a network to its native standalone resource kind.
+func kindFor(net socialgraph.Network) socialgraph.ResourceKind {
+	switch net {
+	case socialgraph.Twitter:
+		return socialgraph.KindTweet
+	case socialgraph.LinkedIn:
+		return socialgraph.KindUpdate
+	}
+	return socialgraph.KindPost
+}
+
+func (c *Churn) liveResources() []socialgraph.ResourceID {
+	n := c.g.NumResources()
+	out := make([]socialgraph.ResourceID, 0, n)
+	for i := 0; i < n; i++ {
+		id := socialgraph.ResourceID(i)
+		if !c.g.ResourceDeleted(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (c *Churn) removableResources(live []socialgraph.ResourceID) []socialgraph.ResourceID {
+	var out []socialgraph.ResourceID
+	for _, id := range live {
+		switch c.g.Resource(id).Kind {
+		case socialgraph.KindProfile, socialgraph.KindContainerDesc:
+		default:
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// mutateText rewrites old by keeping a random-length prefix of its
+// words and splicing in a random suffix of the donor's. Both inputs
+// come from the generated (English) corpus, so the result stays
+// inside the language filter. The result is guaranteed to differ from
+// old, so every churn update is a real content change.
+func (c *Churn) mutateText(old, donor string) string {
+	ow := strings.Fields(old)
+	dw := strings.Fields(donor)
+	keep := 0
+	if len(ow) > 0 {
+		keep = c.rng.Intn(len(ow))
+	}
+	take := 0
+	if len(dw) > 0 {
+		take = 1 + c.rng.Intn(len(dw))
+	}
+	words := append(append([]string{}, ow[:keep]...), dw[len(dw)-take:]...)
+	text := strings.Join(words, " ")
+	if text == old {
+		text += " revisited"
+	}
+	return text
+}

@@ -1,0 +1,519 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+
+	"expertfind/internal/analysis"
+	"expertfind/internal/core"
+	"expertfind/internal/faults"
+	"expertfind/internal/index"
+	"expertfind/internal/kb"
+	"expertfind/internal/resilience"
+	"expertfind/internal/socialgraph"
+	"expertfind/internal/telemetry"
+)
+
+// Config assembles an Ingester around an installed serving stack.
+type Config struct {
+	// API is the remote platform surface to re-visit.
+	API faults.API
+	// Graph is the installed corpus: a same-ID replica of the remote
+	// graph behind API.
+	Graph *socialgraph.Graph
+	// Index is the live sharded index over Graph's analyzable
+	// resources; deltas are applied to it atomically.
+	Index *index.Sharded
+	// Pipe is the analysis pipeline the index was built with.
+	Pipe *analysis.Pipeline
+	// Finders are the query frontends serving over Graph and Index.
+	// Each one's traversal cache is invalidated after a delta, and its
+	// group fingerprint participates in scoped cache invalidation.
+	Finders []*core.Finder
+	// Cache, when set, receives scoped invalidations: only the entries
+	// an applied delta can change are dropped (see invalidate).
+	Cache ScopedCache
+	// Retry is the per-call fetch retry policy; zero selects
+	// resilience.DefaultRetry.
+	Retry resilience.RetryPolicy
+	// Clock supplies retry backoff sleeps; nil means real time.
+	Clock *resilience.Clock
+	// Logger receives per-round summaries; nil disables logging.
+	Logger *slog.Logger
+	// Tracer, when set, records one trace per round with
+	// fetch/diff/apply/invalidate spans.
+	Tracer *telemetry.Tracer
+}
+
+// ScopedCache is the invalidation surface the ingester drives:
+// internal/rescache.Cache implements it.
+type ScopedCache interface {
+	InvalidateMatching(pred func(core.CacheKey) bool) int
+}
+
+// Status is a cumulative snapshot of an ingester's work, served by
+// the /v1/ingest/status endpoint.
+type Status struct {
+	// Rounds counts completed rounds, empty deltas included.
+	Rounds int `json:"rounds"`
+	// Aborts counts rounds abandoned whole (incomplete fetch or
+	// inconsistent catalog); an aborted round changes nothing.
+	Aborts int `json:"aborts"`
+	// Adds, Updates and Removes count resources applied across all
+	// completed rounds.
+	Adds    int `json:"adds"`
+	Updates int `json:"updates"`
+	Removes int `json:"removes"`
+	// CacheDropped counts result-cache entries dropped by scoped
+	// invalidations; FullPurges counts rounds that had to drop every
+	// entry because the delta changed collection statistics.
+	CacheDropped int `json:"cache_dropped"`
+	FullPurges   int `json:"full_purges"`
+	// LastError is the most recent abort reason, empty after a
+	// successful round.
+	LastError string `json:"last_error,omitempty"`
+	// Last describes the most recent completed round.
+	Last RoundReport `json:"last_round"`
+}
+
+// RoundReport describes one completed ingest round.
+type RoundReport struct {
+	Catalog      int           `json:"catalog"`
+	Adds         int           `json:"adds"`
+	Updates      int           `json:"updates"`
+	Removes      int           `json:"removes"`
+	CacheDropped int           `json:"cache_dropped"`
+	FullPurge    bool          `json:"full_purge"`
+	Duration     time.Duration `json:"duration_ns"`
+}
+
+// Ingester re-visits the remote platforms and keeps the installed
+// graph, index and caches in sync with what they serve. RunOnce is
+// safe to call from one goroutine at a time; queries may run
+// concurrently throughout.
+type Ingester struct {
+	cfg     Config
+	retryer *resilience.Retryer
+
+	mu     sync.Mutex
+	status Status
+}
+
+// New assembles an ingester. API, Graph, Index and Pipe are required.
+func New(cfg Config) *Ingester {
+	if cfg.API == nil || cfg.Graph == nil || cfg.Index == nil || cfg.Pipe == nil {
+		panic("ingest: Config requires API, Graph, Index and Pipe")
+	}
+	if !cfg.Retry.Enabled() {
+		cfg.Retry = resilience.DefaultRetry
+	}
+	return &Ingester{
+		cfg:     cfg,
+		retryer: &resilience.Retryer{Policy: cfg.Retry, Clock: cfg.Clock},
+	}
+}
+
+// Status returns a snapshot of the cumulative counters.
+func (ing *Ingester) Status() Status {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.status
+}
+
+// RunOnce performs one full ingest round: fetch the remote catalog,
+// diff it against the installed graph, apply the delta to graph and
+// index, and invalidate exactly the cache state the delta can change.
+// A round that cannot complete its fetch aborts whole and changes
+// nothing. The returned report describes what was applied.
+func (ing *Ingester) RunOnce(ctx context.Context) (RoundReport, error) {
+	start := time.Now()
+	var tr *telemetry.Trace
+	if ing.cfg.Tracer != nil {
+		_, tr = ing.cfg.Tracer.Start(ctx, "ingest-round", "")
+		defer tr.Finish()
+	}
+
+	sp := tr.StartSpan("ingest_fetch")
+	known := make([]socialgraph.ContainerID, ing.cfg.Graph.NumContainers())
+	for i := range known {
+		known[i] = socialgraph.ContainerID(i)
+	}
+	cat, err := FetchCatalog(ing.cfg.API, ing.retryer, known)
+	sp.End()
+	if err != nil {
+		return ing.abort(tr, err)
+	}
+	mCatalog.Set(float64(len(cat)))
+
+	sp = tr.StartSpan("ingest_diff")
+	delta, err := Diff(ing.cfg.Graph, cat)
+	sp.End()
+	if err != nil {
+		return ing.abort(tr, err)
+	}
+
+	rep := RoundReport{
+		Catalog: len(cat),
+		Adds:    len(delta.Adds),
+		Updates: len(delta.Updates),
+		Removes: len(delta.Removes),
+	}
+	if !delta.Empty() {
+		sp = tr.StartSpan("ingest_apply")
+		plan, err := ing.planApply(delta)
+		if err != nil {
+			sp.End()
+			return ing.abort(tr, err)
+		}
+		ing.apply(delta, plan)
+		sp.End()
+
+		sp = tr.StartSpan("ingest_invalidate")
+		rep.CacheDropped, rep.FullPurge = ing.invalidate(plan)
+		sp.End()
+	}
+	rep.Duration = time.Since(start)
+
+	mRounds.Inc()
+	mAdds.Add(float64(rep.Adds))
+	mUpdates.Add(float64(rep.Updates))
+	mRemoves.Add(float64(rep.Removes))
+	if rep.FullPurge {
+		mFullPurges.Inc()
+	}
+	mRoundSeconds.Observe(rep.Duration.Seconds())
+
+	ing.mu.Lock()
+	ing.status.Rounds++
+	ing.status.Adds += rep.Adds
+	ing.status.Updates += rep.Updates
+	ing.status.Removes += rep.Removes
+	ing.status.CacheDropped += rep.CacheDropped
+	if rep.FullPurge {
+		ing.status.FullPurges++
+	}
+	ing.status.LastError = ""
+	ing.status.Last = rep
+	ing.mu.Unlock()
+
+	tr.SetAttr("adds", strconv.Itoa(rep.Adds))
+	tr.SetAttr("updates", strconv.Itoa(rep.Updates))
+	tr.SetAttr("removes", strconv.Itoa(rep.Removes))
+	if ing.cfg.Logger != nil {
+		ing.cfg.Logger.Info("ingest round",
+			"catalog", rep.Catalog,
+			"adds", rep.Adds, "updates", rep.Updates, "removes", rep.Removes,
+			"cache_dropped", rep.CacheDropped, "full_purge", rep.FullPurge,
+			"duration", rep.Duration)
+	}
+	return rep, nil
+}
+
+func (ing *Ingester) abort(tr *telemetry.Trace, err error) (RoundReport, error) {
+	mAborts.Inc()
+	tr.Keep("ingest-abort")
+	tr.SetAttr("error", err.Error())
+	ing.mu.Lock()
+	ing.status.Aborts++
+	ing.status.LastError = err.Error()
+	ing.mu.Unlock()
+	if ing.cfg.Logger != nil {
+		ing.cfg.Logger.Warn("ingest round aborted", "error", err)
+	}
+	return RoundReport{}, err
+}
+
+// dim encodes one index dimension — a stemmed term or a knowledge-base
+// entity — as a string key for invalidation set arithmetic.
+func termDim(t string) string        { return "t:" + t }
+func entityDim(e kb.EntityID) string { return "e:" + strconv.Itoa(int(e)) }
+func analyzedDims(a analysis.Analyzed) []string {
+	out := make([]string, 0, len(a.Terms)+len(a.Entities))
+	for t := range a.Terms {
+		out = append(out, termDim(t))
+	}
+	for e := range a.Entities {
+		out = append(out, entityDim(e))
+	}
+	return out
+}
+
+// applyPlan is everything planApply precomputes from the pre-mutation
+// graph: the index delta, the add validation, and the invalidation
+// inputs.
+type applyPlan struct {
+	idx index.Delta
+	// fillers are tombstone placeholders for remote IDs that were
+	// created and deleted between rounds: the installed graph appends
+	// and immediately removes a resource so positional IDs stay
+	// aligned with the remote's.
+	fillers map[socialgraph.ResourceID]socialgraph.Resource
+	// nChanged reports whether the indexed document count changes:
+	// every IRF weight moves with N, so no cached result survives.
+	nChanged bool
+	// affectedDims are the dimensions whose posting lists change;
+	// dfChangedDims is the subset whose document frequency changes
+	// (their query weights move for every cached need that uses them).
+	affectedDims  map[string]bool
+	dfChangedDims map[string]bool
+	// touchedDocs are the updated documents whose postings change —
+	// the docs whose reachability decides which groups are affected.
+	touchedDocs []socialgraph.ResourceID
+}
+
+// planApply validates the delta against the installed graph and
+// precomputes the index delta and invalidation inputs, reading the
+// pre-mutation state. It performs no mutation, so an invalid delta
+// aborts the round with the graph untouched.
+func (ing *Ingester) planApply(d Delta) (*applyPlan, error) {
+	g, pipe := ing.cfg.Graph, ing.cfg.Pipe
+	plan := &applyPlan{
+		fillers:       make(map[socialgraph.ResourceID]socialgraph.Resource),
+		affectedDims:  make(map[string]bool),
+		dfChangedDims: make(map[string]bool),
+	}
+	dfNet := make(map[string]int)
+
+	for _, id := range d.Removes {
+		r := g.Resource(id)
+		if a, ok := pipe.Analyze(r.Text, r.URLs); ok {
+			plan.idx.Removes = append(plan.idx.Removes, index.Doc{ID: id, A: a})
+		}
+	}
+	for _, r := range d.Updates {
+		old := g.Resource(r.ID)
+		oldA, oldOK := pipe.Analyze(old.Text, old.URLs)
+		newA, newOK := pipe.Analyze(r.Text, r.URLs)
+		switch {
+		case oldOK && newOK:
+			plan.idx.Updates = append(plan.idx.Updates, index.DocUpdate{ID: r.ID, Old: oldA, New: newA})
+			if dims := postingDiff(oldA, newA, dfNet); len(dims) > 0 {
+				for _, dim := range dims {
+					plan.affectedDims[dim] = true
+				}
+				plan.touchedDocs = append(plan.touchedDocs, r.ID)
+			}
+		case oldOK:
+			plan.idx.Removes = append(plan.idx.Removes, index.Doc{ID: r.ID, A: oldA})
+		case newOK:
+			plan.idx.Adds = append(plan.idx.Adds, index.Doc{ID: r.ID, A: newA})
+		}
+	}
+
+	numUsers, numContainers := g.NumUsers(), g.NumContainers()
+	expect := socialgraph.ResourceID(g.NumResources())
+	for _, r := range d.Adds {
+		if r.ID < expect {
+			return nil, fmt.Errorf("ingest: add %d out of order (expected ≥ %d)", r.ID, expect)
+		}
+		for expect < r.ID {
+			// A remote ID we never saw alive: created and deleted
+			// between rounds. Reserve the slot with a filler tombstone
+			// so subsequent IDs stay aligned.
+			plan.fillers[expect] = socialgraph.Resource{
+				Network: r.Network, Kind: socialgraph.KindPost,
+				Creator: r.Creator, Container: socialgraph.NoContainer,
+			}
+			expect++
+		}
+		if int(r.Creator) < 0 || int(r.Creator) >= numUsers {
+			return nil, fmt.Errorf("ingest: add %d has unknown creator %d", r.ID, r.Creator)
+		}
+		switch {
+		case r.Kind == socialgraph.KindContainerDesc:
+			return nil, fmt.Errorf("ingest: add %d is a container description (container creation is outside the delta protocol)", r.ID)
+		case r.Kind == socialgraph.KindProfile:
+			if r.Container != socialgraph.NoContainer {
+				return nil, fmt.Errorf("ingest: profile add %d inside container %d", r.ID, r.Container)
+			}
+			if _, ok := g.Profile(r.Creator, r.Network); ok {
+				return nil, fmt.Errorf("ingest: profile add %d for user %d on %s, which already has one", r.ID, r.Creator, r.Network)
+			}
+		case r.Container != socialgraph.NoContainer:
+			if int(r.Container) < 0 || int(r.Container) >= numContainers {
+				return nil, fmt.Errorf("ingest: add %d references unknown container %d", r.ID, r.Container)
+			}
+			if net := g.Container(r.Container).Network; net != r.Network {
+				return nil, fmt.Errorf("ingest: add %d on %s inside %s container %d", r.ID, r.Network, net, r.Container)
+			}
+		}
+		if a, ok := pipe.Analyze(r.Text, r.URLs); ok {
+			plan.idx.Adds = append(plan.idx.Adds, index.Doc{ID: r.ID, A: a})
+		}
+		expect++
+	}
+
+	plan.nChanged = len(plan.idx.Adds) > 0 || len(plan.idx.Removes) > 0
+	for dim, net := range dfNet {
+		if net != 0 {
+			plan.dfChangedDims[dim] = true
+		}
+	}
+	return plan, nil
+}
+
+// postingDiff returns the dimensions whose posting for this document
+// differs between old and new, and accumulates each dimension's net
+// document-frequency movement into dfNet (+1 gained, −1 lost; a tf or
+// dScore change alone moves the posting but not the df).
+func postingDiff(old, new analysis.Analyzed, dfNet map[string]int) []string {
+	var dims []string
+	for t, tf := range old.Terms {
+		ntf, ok := new.Terms[t]
+		if !ok {
+			dfNet[termDim(t)]--
+			dims = append(dims, termDim(t))
+		} else if ntf != tf {
+			dims = append(dims, termDim(t))
+		}
+	}
+	for t := range new.Terms {
+		if _, ok := old.Terms[t]; !ok {
+			dfNet[termDim(t)]++
+			dims = append(dims, termDim(t))
+		}
+	}
+	for e, st := range old.Entities {
+		nst, ok := new.Entities[e]
+		if !ok {
+			dfNet[entityDim(e)]--
+			dims = append(dims, entityDim(e))
+		} else if nst != st {
+			dims = append(dims, entityDim(e))
+		}
+	}
+	for e := range new.Entities {
+		if _, ok := old.Entities[e]; !ok {
+			dfNet[entityDim(e)]++
+			dims = append(dims, entityDim(e))
+		}
+	}
+	return dims
+}
+
+// apply mutates the installed graph, then flips the index atomically,
+// then drops the finders' traversal caches. A query overlapping an
+// update-only round always observes either the complete pre-delta or
+// the complete post-delta ranking (updates leave reachability alone
+// and ApplyDelta is atomic). A query overlapping an add/remove round
+// may additionally observe the post-delta corpus before the new
+// resources are attributed to candidates — never torn per-document
+// state.
+func (ing *Ingester) apply(d Delta, plan *applyPlan) {
+	g := ing.cfg.Graph
+	for _, id := range d.Removes {
+		g.RemoveResource(id)
+	}
+	for _, r := range d.Updates {
+		g.SetResourceText(r.ID, r.Text, r.URLs...)
+	}
+	next := socialgraph.ResourceID(g.NumResources())
+	for _, r := range d.Adds {
+		for next < r.ID {
+			f := plan.fillers[next]
+			got := g.AddResource(f.Network, f.Kind, f.Creator, "")
+			g.RemoveResource(got)
+			next++
+		}
+		var got socialgraph.ResourceID
+		switch {
+		case r.Kind == socialgraph.KindProfile:
+			got = g.SetProfile(r.Creator, r.Network, r.Text, r.URLs...)
+		case r.Container != socialgraph.NoContainer:
+			got = g.AddContainedResource(r.Kind, r.Container, r.Creator, r.Text, r.URLs...)
+		default:
+			got = g.AddResource(r.Network, r.Kind, r.Creator, r.Text, r.URLs...)
+		}
+		if got != r.ID {
+			panic(fmt.Sprintf("ingest: add landed on id %d, want %d (planApply must pre-validate alignment)", got, r.ID))
+		}
+		next++
+	}
+	ing.cfg.Index.ApplyDelta(plan.idx)
+	for _, f := range ing.cfg.Finders {
+		f.InvalidateTraversal()
+	}
+}
+
+// widestTraversal over-approximates every traversal a finder can be
+// queried with: any resource unreachable under it is unreachable
+// under any TraversalOptions.
+var widestTraversal = socialgraph.TraversalOptions{MaxDistance: 2, IncludeFriends: true}
+
+// invalidate drops exactly the cached results the applied delta can
+// change, and reports (entries dropped, whether the whole cache was
+// purged).
+//
+// Soundness, from the scoring model (Eq. 1–3): a cached ranking for
+// need q over group G is a function of (N, df of q's dims, the
+// posting lists of q's dims, G's reachability map). Therefore:
+//
+//   - if N changed, every IRF weight moved: purge everything;
+//   - else if q's dims miss every changed posting list, nothing the
+//     ranking reads moved (update-only deltas leave reachability
+//     intact): keep;
+//   - else if q's dims hit a dimension whose df moved, q's query
+//     weights moved: drop regardless of group;
+//   - else the damage is confined to the updated documents' scores,
+//     which only surface for groups that can reach one of them: drop
+//     iff G reaches a touched document under the widest traversal
+//     (an over-approximation of every queryable traversal), or G is
+//     not one of the configured finders' groups (unprovable: drop).
+func (ing *Ingester) invalidate(plan *applyPlan) (dropped int, fullPurge bool) {
+	cache := ing.cfg.Cache
+	if cache == nil {
+		return 0, false
+	}
+	if plan.nChanged {
+		return cache.InvalidateMatching(func(core.CacheKey) bool { return true }), true
+	}
+	if len(plan.affectedDims) == 0 {
+		return 0, false
+	}
+
+	groupTouched := make(map[string]bool, len(ing.cfg.Finders))
+	for _, f := range ing.cfg.Finders {
+		rcm := f.Graph().ResourceCandidateMap(f.Candidates(), widestTraversal)
+		touched := false
+		for _, id := range plan.touchedDocs {
+			if _, ok := rcm[id]; ok {
+				touched = true
+				break
+			}
+		}
+		groupTouched[f.GroupFingerprint()] = touched
+	}
+
+	needDims := make(map[string][]string)
+	dimsOf := func(need string) []string {
+		if dims, ok := needDims[need]; ok {
+			return dims
+		}
+		dims := analyzedDims(ing.cfg.Pipe.AnalyzeNeed(need))
+		needDims[need] = dims
+		return dims
+	}
+	hits := func(dims []string, set map[string]bool) bool {
+		for _, d := range dims {
+			if set[d] {
+				return true
+			}
+		}
+		return false
+	}
+	return cache.InvalidateMatching(func(k core.CacheKey) bool {
+		dims := dimsOf(k.Need)
+		if !hits(dims, plan.affectedDims) {
+			return false
+		}
+		if hits(dims, plan.dfChangedDims) {
+			return true
+		}
+		touched, known := groupTouched[k.Group]
+		return !known || touched
+	}), false
+}

@@ -72,6 +72,12 @@ var (
 	mGenerations = telemetry.Default().Counter(
 		"expertfind_rescache_generations_total",
 		"Corpus generation advances observed by the result cache.")
+	mScopedInvalidations = telemetry.Default().Counter(
+		"expertfind_rescache_scoped_invalidations_total",
+		"Scoped invalidation passes run against the result cache (ingest deltas).")
+	mScopedDropped = telemetry.Default().Counter(
+		"expertfind_rescache_scoped_dropped_total",
+		"Result-cache entries dropped by scoped (predicate) invalidation.")
 	mEntries = telemetry.Default().Gauge(
 		"expertfind_rescache_entries",
 		"Result-cache entries currently resident.")
@@ -101,9 +107,15 @@ type Options struct {
 // are safe for concurrent use. A Cache is not used directly as a
 // finder hook — Attach binds a generation-pinned View first.
 type Cache struct {
-	ttl    time.Duration
-	clock  *resilience.Clock
-	gen    atomic.Uint64
+	ttl   time.Duration
+	clock *resilience.Clock
+	gen   atomic.Uint64
+	// epoch advances on every scoped invalidation. Leaders snapshot it
+	// before computing and drop their store if it moved: a computation
+	// that overlapped a delta may hold a pre-delta ranking, and unlike a
+	// generation change the key namespace stays the same, so the store
+	// itself must be fenced.
+	epoch  atomic.Uint64
 	shards []*shard
 }
 
@@ -117,6 +129,7 @@ type shard struct {
 
 type entry struct {
 	key     string
+	ckey    core.CacheKey // structured form, for scoped invalidation predicates
 	val     []core.ExpertScore
 	expires time.Time // zero when the cache has no TTL
 }
@@ -187,6 +200,36 @@ func (c *Cache) Invalidate() {
 	c.gen.Add(1)
 	mGenerations.Inc()
 	c.purge()
+}
+
+// InvalidateMatching drops the resident entries whose structured key
+// matches pred and returns how many were dropped, without advancing
+// the corpus generation: untouched entries keep serving hits across an
+// ingest delta — the scoped alternative to the all-or-nothing purge of
+// Attach/Invalidate. In-flight computations that began before the call
+// have their stores dropped (they may hold pre-delta rankings), so a
+// delta can never poison the cache through a slow leader. pred runs
+// under shard locks and must not call back into the cache.
+func (c *Cache) InvalidateMatching(pred func(core.CacheKey) bool) int {
+	c.epoch.Add(1)
+	mScopedInvalidations.Inc()
+	dropped := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var next *list.Element
+		for el := sh.lru.Front(); el != nil; el = next {
+			next = el.Next()
+			if pred(el.Value.(*entry).ckey) {
+				sh.removeLocked(el)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		mScopedDropped.Add(float64(dropped))
+	}
+	return dropped
 }
 
 // Generation returns the current corpus generation.
@@ -266,6 +309,7 @@ func (c *Cache) getOrCompute(gen uint64, key core.CacheKey, compute func() []cor
 	cl := &call{done: make(chan struct{})}
 	sh.inflight[k] = cl
 	sh.mu.Unlock()
+	epoch := c.epoch.Load()
 
 	// The leader computes outside the shard lock, then publishes. The
 	// deferred cleanup also runs if compute panics: followers then
@@ -281,11 +325,14 @@ func (c *Cache) getOrCompute(gen uint64, key core.CacheKey, compute func() []cor
 
 	// Stores from a superseded generation are dropped: the entries
 	// would be unreachable (lookups use the current generation) yet
-	// would occupy capacity until evicted.
+	// would occupy capacity until evicted. The epoch re-check runs
+	// under the shard lock so it orders against InvalidateMatching's
+	// walk of the same shard: the entry is either present for the walk
+	// to judge, or dropped here because the epoch already moved.
 	if gen == c.gen.Load() {
 		sh.mu.Lock()
-		if _, ok := sh.byKey[k]; !ok {
-			e := &entry{key: k, val: cloneScores(cl.val)}
+		if _, ok := sh.byKey[k]; !ok && epoch == c.epoch.Load() {
+			e := &entry{key: k, ckey: key, val: cloneScores(cl.val)}
 			if c.ttl > 0 {
 				e.expires = c.clock.Now().Add(c.ttl)
 			}

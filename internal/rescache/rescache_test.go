@@ -339,3 +339,93 @@ func TestTinyCapacityCollapsesShards(t *testing.T) {
 		t.Fatalf("Len = %d, want <= 2", c.Len())
 	}
 }
+
+// TestInvalidateMatchingScoped checks the scoped-invalidation
+// contract: exactly the entries matching the predicate are dropped,
+// untouched entries keep serving hits without recomputation, and the
+// corpus generation does not move (surviving views stay attached).
+func TestInvalidateMatchingScoped(t *testing.T) {
+	c := rescache.New(rescache.Options{Capacity: 16, Shards: 4})
+	v := c.Attach()
+	computes := 0
+	needs := []string{"alpha query", "beta query", "gamma query", "delta query"}
+	for _, need := range needs {
+		get(t, v, need, &computes)
+	}
+	gen := c.Generation()
+
+	dropped := c.InvalidateMatching(func(k core.CacheKey) bool {
+		return k.Need == "beta query" || k.Need == "delta query"
+	})
+	if dropped != 2 {
+		t.Fatalf("dropped %d entries, want 2", dropped)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after scoped drop, want 2", c.Len())
+	}
+	if c.Generation() != gen {
+		t.Fatalf("generation moved %d -> %d; scoped invalidation must not advance it", gen, c.Generation())
+	}
+
+	computes = 0
+	if st := get(t, v, "alpha query", &computes); st != core.CacheHit {
+		t.Fatalf("untouched entry: %q, want hit", st)
+	}
+	if st := get(t, v, "gamma query", &computes); st != core.CacheHit {
+		t.Fatalf("untouched entry: %q, want hit", st)
+	}
+	if computes != 0 {
+		t.Fatalf("untouched entries recomputed %d times", computes)
+	}
+	if st := get(t, v, "beta query", &computes); st != core.CacheMiss {
+		t.Fatalf("dropped entry: %q, want miss", st)
+	}
+	if computes != 1 {
+		t.Fatalf("dropped entry computed %d times, want 1", computes)
+	}
+	// The recomputed entry is resident again.
+	if st := get(t, v, "beta query", &computes); st != core.CacheHit {
+		t.Fatalf("recomputed entry: %q, want hit", st)
+	}
+}
+
+// TestInvalidateMatchingFencesInFlightStores checks the epoch fence: a
+// leader that began computing before a scoped invalidation must not
+// publish its (potentially pre-delta) result, even when the predicate
+// matched nothing resident — the entry it would store was computed
+// from state the invalidation declared stale.
+func TestInvalidateMatchingFencesInFlightStores(t *testing.T) {
+	c := rescache.New(rescache.Options{Capacity: 16, Shards: 1})
+	v := c.Attach()
+	key := core.CacheKey{Need: "fenced", Group: "g", Params: "p"}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan core.CacheStatus, 1)
+	go func() {
+		_, st := v.GetOrCompute(key, func() []core.ExpertScore {
+			close(started)
+			<-release
+			return scores(1)
+		})
+		done <- st
+	}()
+	<-started
+	if n := c.InvalidateMatching(func(core.CacheKey) bool { return false }); n != 0 {
+		t.Fatalf("nothing was resident, yet %d entries dropped", n)
+	}
+	close(release)
+	if st := <-done; st != core.CacheMiss {
+		t.Fatalf("leader finished as %q, want miss", st)
+	}
+
+	// The leader's store must have been dropped: the next lookup is a
+	// fresh miss, and its store (post-invalidation) sticks.
+	computes := 0
+	if st := get(t, v, "fenced", &computes); st != core.CacheMiss {
+		t.Fatalf("post-fence lookup: %q, want miss (stale store must not publish)", st)
+	}
+	if st := get(t, v, "fenced", &computes); st != core.CacheHit {
+		t.Fatalf("post-fence second lookup: %q, want hit", st)
+	}
+}

@@ -15,7 +15,10 @@
 // following precisely the paths of Table 1.
 package socialgraph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Network identifies a social platform.
 type Network string
@@ -133,7 +136,14 @@ type profileKey struct {
 // by the corresponding Add method, mirroring slice indexing: the graph
 // is built programmatically by generators and loaders that control
 // their inputs.
+//
+// Graph is safe for concurrent use: public mutators hold a graph-wide
+// write lock, public readers (traversals included) hold the read lock
+// for their full duration, so a live ingest applying resource changes
+// never exposes a torn view to concurrent queries.
 type Graph struct {
+	mu sync.RWMutex
+
 	users      []User
 	resources  []Resource
 	containers []Container
@@ -146,6 +156,12 @@ type Graph struct {
 	relatesTo map[UserID][]ContainerID
 	contains  map[ContainerID][]ResourceID
 	follows   map[Network]map[UserID]map[UserID]bool
+
+	// deleted tombstones removed resources. Resource IDs are positional
+	// (slice indices), so records are never physically deleted; the
+	// tombstone hides them from traversal and corpus builds while their
+	// record stays readable for delta bookkeeping.
+	deleted map[ResourceID]bool
 }
 
 // New returns an empty graph.
@@ -158,11 +174,14 @@ func New() *Graph {
 		relatesTo: make(map[UserID][]ContainerID),
 		contains:  make(map[ContainerID][]ResourceID),
 		follows:   make(map[Network]map[UserID]map[UserID]bool),
+		deleted:   make(map[ResourceID]bool),
 	}
 }
 
 // AddUser registers a user and returns its ID.
 func (g *Graph) AddUser(name string, candidate bool) UserID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	id := UserID(len(g.users))
 	g.users = append(g.users, User{ID: id, Name: name, Candidate: candidate})
 	return id
@@ -172,6 +191,8 @@ func (g *Graph) AddUser(name string, candidate bool) UserID {
 // the backing profile resource. A user has at most one profile per
 // network; setting it twice replaces the text.
 func (g *Graph) SetProfile(u UserID, net Network, text string, urls ...string) ResourceID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(u)
 	key := profileKey{u, net}
 	if rid, ok := g.profiles[key]; ok {
@@ -187,8 +208,57 @@ func (g *Graph) SetProfile(u UserID, net Network, text string, urls ...string) R
 	return rid
 }
 
+// SetResourceText replaces the text and URLs of an existing resource
+// in place — the "update" leg of an ingest delta. The resource must
+// not be deleted.
+func (g *Graph) SetResourceText(r ResourceID, text string, urls ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	res := g.resource(r)
+	if g.deleted[r] {
+		panic(fmt.Sprintf("socialgraph: updating deleted resource %d", r))
+	}
+	res.Text = text
+	res.URLs = urls
+}
+
+// RemoveResource tombstones a resource: it disappears from traversals
+// and corpus builds, while its record remains readable (IDs are
+// positional, so nothing shifts). Profiles cannot be removed — replace
+// them via SetProfile. Removing an unknown or already-removed resource
+// panics.
+func (g *Graph) RemoveResource(r ResourceID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	res := g.resource(r)
+	if res.Kind == KindProfile {
+		panic(fmt.Sprintf("socialgraph: removing profile resource %d", r))
+	}
+	if g.deleted[r] {
+		panic(fmt.Sprintf("socialgraph: removing already-removed resource %d", r))
+	}
+	g.deleted[r] = true
+}
+
+// ResourceDeleted reports whether r has been tombstoned.
+func (g *Graph) ResourceDeleted(r ResourceID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.resource(r)
+	return g.deleted[r]
+}
+
+// NumDeletedResources returns the number of tombstoned resources.
+func (g *Graph) NumDeletedResources() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.deleted)
+}
+
 // Profile returns the profile resource of user u on net, if any.
 func (g *Graph) Profile(u UserID, net Network) (ResourceID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	rid, ok := g.profiles[profileKey{u, net}]
 	return rid, ok
 }
@@ -196,6 +266,8 @@ func (g *Graph) Profile(u UserID, net Network) (ResourceID, bool) {
 // AddResource registers a standalone resource created by creator and
 // returns its ID. The creates edge is recorded automatically.
 func (g *Graph) AddResource(net Network, kind ResourceKind, creator UserID, text string, urls ...string) ResourceID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(creator)
 	rid := g.addResource(Resource{
 		Network: net, Kind: kind, Text: text, URLs: urls,
@@ -209,6 +281,8 @@ func (g *Graph) AddResource(net Network, kind ResourceKind, creator UserID, text
 // (authored by owner, typically the group/page creator) and returns
 // its ID.
 func (g *Graph) AddContainer(net Network, kind ContainerKind, owner UserID, name, desc string) ContainerID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(owner)
 	descID := g.addResource(Resource{
 		Network: net, Kind: KindContainerDesc, Text: desc,
@@ -224,6 +298,8 @@ func (g *Graph) AddContainer(net Network, kind ContainerKind, owner UserID, name
 // AddContainedResource registers a resource inside container c,
 // created by creator, recording both the creates and contains edges.
 func (g *Graph) AddContainedResource(kind ResourceKind, c ContainerID, creator UserID, text string, urls ...string) ResourceID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(creator)
 	cont := g.container(c)
 	rid := g.addResource(Resource{
@@ -244,6 +320,8 @@ func (g *Graph) addResource(r Resource) ResourceID {
 // Owns records that the resource appears on u's wall or stream
 // (published there, possibly created by someone else).
 func (g *Graph) Owns(u UserID, r ResourceID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(u)
 	g.resource(r)
 	g.owns[u] = append(g.owns[u], r)
@@ -251,6 +329,8 @@ func (g *Graph) Owns(u UserID, r ResourceID) {
 
 // Annotates records that u liked / marked as favourite the resource.
 func (g *Graph) Annotates(u UserID, r ResourceID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(u)
 	g.resource(r)
 	g.annotates[u] = append(g.annotates[u], r)
@@ -258,6 +338,8 @@ func (g *Graph) Annotates(u UserID, r ResourceID) {
 
 // RelatesTo records that u belongs to (or likes) the container.
 func (g *Graph) RelatesTo(u UserID, c ContainerID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.user(u)
 	g.container(c)
 	g.relatesTo[u] = append(g.relatesTo[u], c)
@@ -267,6 +349,13 @@ func (g *Graph) RelatesTo(u UserID, c ContainerID) {
 // A bidirectional pair of Follows edges constitutes a friendship
 // (paper §2.2): Facebook friendships are stored as mutual follows.
 func (g *Graph) Follows(a, b UserID, net Network) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addFollows(a, b, net)
+}
+
+// addFollows is Follows without the lock; the caller holds it.
+func (g *Graph) addFollows(a, b UserID, net Network) {
 	g.user(a)
 	g.user(b)
 	if a == b {
@@ -285,43 +374,77 @@ func (g *Graph) Follows(a, b UserID, net Network) {
 
 // Befriend records a bidirectional relationship on net.
 func (g *Graph) Befriend(a, b UserID, net Network) {
-	g.Follows(a, b, net)
-	g.Follows(b, a, net)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addFollows(a, b, net)
+	g.addFollows(b, a, net)
 }
 
 // IsFriend reports whether a and b mutually follow each other on net.
 func (g *Graph) IsFriend(a, b UserID, net Network) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	m := g.follows[net]
 	return m != nil && m[a][b] && m[b][a]
 }
 
 // FollowsEdge reports whether the directed edge a → b exists on net.
 func (g *Graph) FollowsEdge(a, b UserID, net Network) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	m := g.follows[net]
 	return m != nil && m[a][b]
 }
 
 // User returns the user record.
-func (g *Graph) User(u UserID) User { return *g.user(u) }
+func (g *Graph) User(u UserID) User {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return *g.user(u)
+}
 
-// Resource returns the resource record.
-func (g *Graph) Resource(r ResourceID) Resource { return *g.resource(r) }
+// Resource returns the resource record. Tombstoned resources remain
+// readable (see RemoveResource).
+func (g *Graph) Resource(r ResourceID) Resource {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return *g.resource(r)
+}
 
 // Container returns the container record.
-func (g *Graph) Container(c ContainerID) Container { return *g.container(c) }
+func (g *Graph) Container(c ContainerID) Container {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return *g.container(c)
+}
 
 // NumUsers returns the number of registered users.
-func (g *Graph) NumUsers() int { return len(g.users) }
+func (g *Graph) NumUsers() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.users)
+}
 
-// NumResources returns the number of resources, profiles and container
-// descriptions included.
-func (g *Graph) NumResources() int { return len(g.resources) }
+// NumResources returns the number of resource slots, profiles,
+// container descriptions and tombstoned resources included (IDs are
+// positional, so the count never shrinks).
+func (g *Graph) NumResources() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.resources)
+}
 
 // NumContainers returns the number of containers.
-func (g *Graph) NumContainers() int { return len(g.containers) }
+func (g *Graph) NumContainers() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.containers)
+}
 
 // ContainedResources returns the resources contained in c (a copy).
 func (g *Graph) ContainedResources(c ContainerID) []ResourceID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	g.container(c)
 	out := make([]ResourceID, len(g.contains[c]))
 	copy(out, g.contains[c])
@@ -330,6 +453,8 @@ func (g *Graph) ContainedResources(c ContainerID) []ResourceID {
 
 // OwnedBy returns the resources on u's wall or stream (a copy).
 func (g *Graph) OwnedBy(u UserID) []ResourceID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	g.user(u)
 	out := make([]ResourceID, len(g.owns[u]))
 	copy(out, g.owns[u])
@@ -338,6 +463,8 @@ func (g *Graph) OwnedBy(u UserID) []ResourceID {
 
 // CreatedBy returns the resources authored by u (a copy).
 func (g *Graph) CreatedBy(u UserID) []ResourceID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	g.user(u)
 	out := make([]ResourceID, len(g.creates[u]))
 	copy(out, g.creates[u])
@@ -346,6 +473,8 @@ func (g *Graph) CreatedBy(u UserID) []ResourceID {
 
 // AnnotatedBy returns the resources u liked or favourited (a copy).
 func (g *Graph) AnnotatedBy(u UserID) []ResourceID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	g.user(u)
 	out := make([]ResourceID, len(g.annotates[u]))
 	copy(out, g.annotates[u])
@@ -354,6 +483,8 @@ func (g *Graph) AnnotatedBy(u UserID) []ResourceID {
 
 // RelatedContainers returns the containers u relates to (a copy).
 func (g *Graph) RelatedContainers(u UserID) []ContainerID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	g.user(u)
 	out := make([]ContainerID, len(g.relatesTo[u]))
 	copy(out, g.relatesTo[u])
@@ -362,6 +493,8 @@ func (g *Graph) RelatedContainers(u UserID) []ContainerID {
 
 // Users returns all users.
 func (g *Graph) Users() []User {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make([]User, len(g.users))
 	copy(out, g.users)
 	return out
@@ -369,6 +502,8 @@ func (g *Graph) Users() []User {
 
 // Candidates returns the expert-candidate pool CE, ordered by ID.
 func (g *Graph) Candidates() []UserID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var out []UserID
 	for _, u := range g.users {
 		if u.Candidate {

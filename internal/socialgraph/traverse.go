@@ -60,7 +60,16 @@ type Hit struct {
 //
 // A resource reachable through several paths is reported once at its
 // minimal distance. Hits are ordered by (distance, resource ID).
+// Tombstoned resources are not reported.
 func (g *Graph) ResourcesWithin(u UserID, opts TraversalOptions) []Hit {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.resourcesWithin(u, opts)
+}
+
+// resourcesWithin is ResourcesWithin without the lock; the caller
+// holds the read lock.
+func (g *Graph) resourcesWithin(u UserID, opts TraversalOptions) []Hit {
 	g.user(u)
 	nets := opts.Networks
 	if nets == nil {
@@ -73,7 +82,7 @@ func (g *Graph) ResourcesWithin(u UserID, opts TraversalOptions) []Hit {
 
 	dist := make(map[ResourceID]int)
 	record := func(r ResourceID, d int) {
-		if !inNet[g.resources[r].Network] {
+		if g.deleted[r] || !inNet[g.resources[r].Network] {
 			return
 		}
 		if prev, ok := dist[r]; !ok || d < prev {
@@ -178,6 +187,8 @@ func (g *Graph) followed(u UserID, net Network, includeFriends bool) []UserID {
 // Followed exposes the followed-user list of u on net (friends
 // excluded unless includeFriends).
 func (g *Graph) Followed(u UserID, net Network, includeFriends bool) []UserID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	g.user(u)
 	return g.followed(u, net, includeFriends)
 }
@@ -196,10 +207,12 @@ type CandidateDistance struct {
 // resources to candidates.
 func (g *Graph) ResourceCandidateMap(candidates []UserID, opts TraversalOptions) map[ResourceID][]CandidateDistance {
 	defer mTraversalSeconds.ObserveSince(time.Now())
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	hits := 0
 	out := make(map[ResourceID][]CandidateDistance)
 	for _, u := range candidates {
-		for _, h := range g.ResourcesWithin(u, opts) {
+		for _, h := range g.resourcesWithin(u, opts) {
 			out[h.Resource] = append(out[h.Resource], CandidateDistance{Candidate: u, Distance: h.Distance})
 			hits++
 		}
@@ -219,8 +232,10 @@ func (g *Graph) DistanceCounts(candidates []UserID, opts TraversalOptions) map[N
 		r   ResourceID
 	}
 	best := make(map[key]int)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	for _, u := range candidates {
-		for _, h := range g.ResourcesWithin(u, opts) {
+		for _, h := range g.resourcesWithin(u, opts) {
 			k := key{g.resources[h.Resource].Network, h.Resource}
 			if prev, ok := best[k]; !ok || h.Distance < prev {
 				best[k] = h.Distance
