@@ -6,9 +6,18 @@
 //
 //	datagen [-seed N] [-scale F] [-json out.json] [-samples K]
 //	        [-save corpus.json.gz] [-load corpus.json.gz]
+//	        [-stream corpus.stream.json.gz] [-chunk-docs N]
+//	        [-segment-dir DIR] [-segment-flush-docs N] [-segment-max N]
 //	        [-fault-transient F] [-fault-ratelimit F] [-fault-seed N]
 //	        [-fault-outages net,net] [-retries N]
 //	        [-log-format text|json] [-log-level L]
+//
+// -stream switches to streaming generation: the corpus is emitted as
+// chunked JSONL records straight to disk, and bulk texts are dropped
+// from memory as each chunk lands, so peak memory is bounded by the
+// base corpus plus one chunk at any -scale. With -segment-dir the
+// stream is then analyzed chunk by chunk into a disk-backed segment
+// index that cmd/serve and cmd/loadtest open directly.
 //
 // When any -fault-* flag is set, the corpus is re-crawled through the
 // fault-injecting platform API (internal/faults) and the degraded
@@ -32,6 +41,7 @@ import (
 	"expertfind/internal/dataset"
 	"expertfind/internal/experiments"
 	"expertfind/internal/faults"
+	"expertfind/internal/index"
 	"expertfind/internal/kb"
 	"expertfind/internal/socialgraph"
 	"expertfind/internal/telemetry"
@@ -71,6 +81,11 @@ func main() {
 	jsonPath := flag.String("json", "", "write the full corpus as JSON to this file")
 	savePath := flag.String("save", "", "save a reloadable corpus snapshot (.json or .json.gz)")
 	loadPath := flag.String("load", "", "load a corpus snapshot instead of generating")
+	streamPath := flag.String("stream", "", "write a streaming corpus (chunked JSONL, .gz to compress) in bounded memory")
+	chunkDocs := flag.Int("chunk-docs", 25000, "bulk resources per stream chunk")
+	segmentDir := flag.String("segment-dir", "", "with -stream: build a disk-backed segment index of the corpus in this directory")
+	segmentFlush := flag.Int("segment-flush-docs", 0, "segment store memtable flush threshold (0 = default)")
+	segmentMax := flag.Int("segment-max", 0, "segment count that triggers compaction (0 = default)")
 	samples := flag.Int("samples", 3, "sample resources to print per network")
 	faultTransient := flag.Float64("fault-transient", 0, "probability an API call fails transiently")
 	faultRateLimit := flag.Float64("fault-ratelimit", 0, "probability an API call is rate-limited (429)")
@@ -85,6 +100,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *streamPath != "" {
+		if err := runStream(*seed, *scale, *chunkDocs, *streamPath, *segmentDir, *segmentFlush, *segmentMax); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	t0 := time.Now()
@@ -160,6 +183,67 @@ func main() {
 		}
 		fmt.Printf("\nreloadable snapshot written to %s\n", *savePath)
 	}
+}
+
+// runStream generates a corpus straight to disk in chunked form and,
+// when segmentDir is set, builds the segment index from the stream.
+func runStream(seed int64, scale float64, chunkDocs int, streamPath, segmentDir string, flushDocs, maxSegments int) error {
+	t0 := time.Now()
+	w, err := corpusio.CreateStream(streamPath)
+	if err != nil {
+		return err
+	}
+	cfg := dataset.StreamConfig{Config: dataset.Config{Seed: seed, Scale: scale}, ChunkDocs: chunkDocs}
+	total := cfg.BulkChunks()
+	chunks := 0
+	ds, err := dataset.GenerateStream(cfg,
+		func(d *dataset.Dataset) error { return w.WriteBase(d) },
+		func(d *dataset.Dataset, c *dataset.StreamChunk) error {
+			if err := w.WriteChunk(c); err != nil {
+				return err
+			}
+			// The texts now live on disk; dropping them bounds memory.
+			d.BlankChunkTexts(c)
+			chunks++
+			if chunks%25 == 0 || chunks == total {
+				fmt.Printf("  chunk %d/%d: %d users, %d resources, %v elapsed\n",
+					chunks, total, d.Graph.NumUsers(), d.Graph.NumResources(),
+					time.Since(t0).Round(time.Second))
+			}
+			return nil
+		})
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("stream corpus written to %s in %v: %d chunks, %d users, %d resources\n",
+		streamPath, time.Since(t0).Round(time.Millisecond), chunks,
+		ds.Graph.NumUsers(), ds.Graph.NumResources())
+	if segmentDir == "" {
+		return nil
+	}
+
+	t1 := time.Now()
+	sys, err := experiments.BuildSystemFromStream(streamPath, segmentDir, experiments.StreamBuildOptions{
+		FlushDocs:   flushDocs,
+		MaxSegments: maxSegments,
+	})
+	if err != nil {
+		return err
+	}
+	store := sys.Finder.Index().(*index.Store)
+	defer store.Close()
+	if err := store.Compact(); err != nil {
+		return err
+	}
+	st := store.Status()
+	fmt.Printf("segment index built in %s in %v: %d docs in %d segments (%.1f MB on disk, %d seals, %d compactions)\n",
+		segmentDir, time.Since(t1).Round(time.Millisecond), st.LiveDocs, len(st.Segments),
+		float64(st.DiskBytes)/(1<<20), st.Seals, st.Compactions)
+	return nil
 }
 
 func printSamples(ds *dataset.Dataset, k int) {

@@ -1,95 +1,190 @@
-// Command docscheck verifies that every package in the module carries
-// a package-level doc comment — the documentation contract the
-// docs-check CI step enforces. It walks the repository for directories
-// containing non-test Go files, parses package clauses only (fast; no
-// type checking), and reports packages whose clause has no attached
-// comment in any of their files.
+// Command docscheck enforces the documentation contract the
+// docs-check CI step runs: every package in the module carries a
+// package-level doc comment, and every exported top-level declaration
+// in the library packages (everything but package main) carries a doc
+// comment of its own. The package list is derived from `go list ./...`
+// rather than enumerated by hand, so a new package is gated the day it
+// is added. Parsing stops at the AST (no type checking), keeping the
+// check fast enough to run on every push.
 //
 // Usage:
 //
-//	docscheck [dir]
+//	docscheck [packages]
 //
-// dir defaults to the current directory. Exit status is nonzero when
-// any package lacks a doc comment, listing each offender with the file
-// a comment should go in (the package's doc.go when present, its first
-// file otherwise).
+// packages defaults to ./... and is passed to `go list` verbatim. Exit
+// status is nonzero when any package lacks a doc comment or any
+// exported declaration is undocumented, listing each offender with the
+// file and line a comment should go at.
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
-	"io/fs"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
 )
 
 func main() {
-	root := "."
+	pattern := "./..."
 	if len(os.Args) > 1 {
-		root = os.Args[1]
+		pattern = os.Args[1]
 	}
-	offenders, err := check(root)
+	pkgs, err := listPackages(pattern)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 		os.Exit(2)
 	}
+	var offenders []string
+	for _, p := range pkgs {
+		off, err := checkPackage(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		offenders = append(offenders, off...)
+	}
+	sort.Strings(offenders)
 	for _, o := range offenders {
 		fmt.Println(o)
 	}
 	if len(offenders) > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d package(s) lack a package doc comment\n", len(offenders))
+		fmt.Fprintf(os.Stderr, "docscheck: %d documentation offender(s)\n", len(offenders))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: all packages documented")
+	fmt.Printf("docscheck: %d packages documented, exported API covered\n", len(pkgs))
 }
 
-// check walks root and returns one line per undocumented package.
-func check(root string) ([]string, error) {
-	// dir -> files of the package (non-test Go files).
-	pkgs := map[string][]string{}
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
+type pkg struct {
+	dir        string
+	importPath string
+	name       string
+	files      []string
+}
+
+// listPackages asks the go tool for the module's packages, so the
+// gate's scope is whatever builds — never a hand-maintained list.
+func listPackages(pattern string) ([]pkg, error) {
+	out, err := exec.Command("go", "list", "-f",
+		"{{.Dir}}\t{{.ImportPath}}\t{{.Name}}\t{{range .GoFiles}}{{.}} {{end}}", pattern).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v: %s", pattern, err, ee.Stderr)
 		}
-		if d.IsDir() {
-			name := d.Name()
-			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
+		return nil, fmt.Errorf("go list %s: %v", pattern, err)
+	}
+	var pkgs []pkg
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			continue
+		}
+		p := pkg{dir: parts[0], importPath: parts[1], name: parts[2]}
+		for _, f := range strings.Fields(parts[3]) {
+			p.files = append(p.files, filepath.Join(p.dir, f))
+		}
+		if len(p.files) > 0 {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// checkPackage returns one line per documentation offender in p.
+func checkPackage(p pkg) ([]string, error) {
+	fset := token.NewFileSet()
+	var offenders []string
+	documented := false
+	for _, f := range p.files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+			documented = true
+		}
+		// Exported API documentation is a library contract; a main
+		// package's exported identifiers have no importers to read it.
+		if p.name == "main" {
+			continue
+		}
+		for _, d := range af.Decls {
+			offenders = append(offenders, checkDecl(fset, p.importPath, d)...)
+		}
+	}
+	if !documented {
+		offenders = append(offenders,
+			fmt.Sprintf("%s: package has no doc comment (add one in %s)", p.importPath, p.files[0]))
+	}
+	return offenders, nil
+}
+
+// checkDecl reports exported top-level declarations without a doc
+// comment. A doc comment on a grouped const/var/type block covers the
+// whole group, matching godoc's rendering.
+func checkDecl(fset *token.FileSet, importPath string, decl ast.Decl) []string {
+	var offenders []string
+	undocumented := func(name string, pos token.Pos) {
+		p := fset.Position(pos)
+		offenders = append(offenders, fmt.Sprintf("%s: exported %s undocumented (%s:%d)",
+			importPath, name, p.Filename, p.Line))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
 			return nil
 		}
-		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-			dir := filepath.Dir(path)
-			pkgs[dir] = append(pkgs[dir], path)
+		// A method only surfaces in godoc when its receiver type does.
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		undocumented("func "+d.Name.Name, d.Pos())
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return nil
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil {
+					undocumented("type "+s.Name.Name, s.Pos())
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						undocumented(n.Name, n.Pos())
+					}
+				}
+			}
+		}
 	}
+	return offenders
+}
 
-	var offenders []string
-	fset := token.NewFileSet()
-	for dir, files := range pkgs {
-		sort.Strings(files)
-		documented := false
-		for _, f := range files {
-			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
-			if err != nil {
-				return nil, err
-			}
-			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
-				documented = true
-				break
-			}
-		}
-		if !documented {
-			offenders = append(offenders, fmt.Sprintf("%s: package has no doc comment (add one in %s)", dir, files[0]))
+// exportedReceiver reports whether a method receiver names an
+// exported type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
 		}
 	}
-	sort.Strings(offenders)
-	return offenders, nil
 }

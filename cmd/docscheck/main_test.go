@@ -17,33 +17,116 @@ func write(t *testing.T, path, content string) {
 	}
 }
 
-func TestCheck(t *testing.T) {
+// checkFiles parses the given sources as one package and returns its
+// offender lines, exercising checkPackage without invoking go list.
+func checkFiles(t *testing.T, name string, sources map[string]string) []string {
+	t.Helper()
 	dir := t.TempDir()
-	write(t, filepath.Join(dir, "good", "doc.go"), "// Package good is documented.\npackage good\n")
-	write(t, filepath.Join(dir, "good", "other.go"), "package good\n")
-	write(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n")
+	p := pkg{dir: dir, importPath: "example.com/" + name, name: name}
+	for f, src := range sources {
+		path := filepath.Join(dir, f)
+		write(t, path, src)
+		p.files = append(p.files, path)
+	}
+	off, err := checkPackage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return off
+}
+
+func TestCheckPackageDocComment(t *testing.T) {
+	if off := checkFiles(t, "good", map[string]string{
+		"doc.go":   "// Package good is documented.\npackage good\n",
+		"other.go": "package good\n",
+	}); len(off) != 0 {
+		t.Fatalf("documented package flagged: %v", off)
+	}
+	off := checkFiles(t, "bad", map[string]string{"bad.go": "package bad\n"})
+	if len(off) != 1 || !strings.Contains(off[0], "no doc comment") {
+		t.Fatalf("offenders = %v, want missing package doc", off)
+	}
 	// A detached comment (blank line before the clause) is not a doc
 	// comment.
-	write(t, filepath.Join(dir, "detached", "a.go"), "// Some file header.\n\npackage detached\n")
-	// Test files and testdata never satisfy the requirement.
-	write(t, filepath.Join(dir, "bad", "bad_test.go"), "// Package bad tests.\npackage bad\n")
-	write(t, filepath.Join(dir, "good", "testdata", "ignore.go"), "package ignored\n")
+	off = checkFiles(t, "detached", map[string]string{
+		"a.go": "// Some file header.\n\npackage detached\n",
+	})
+	if len(off) != 1 {
+		t.Fatalf("offenders = %v, want detached header flagged", off)
+	}
+}
 
-	offenders, err := check(dir)
+func TestCheckPackageExportedDecls(t *testing.T) {
+	off := checkFiles(t, "api", map[string]string{
+		"api.go": `// Package api is documented.
+package api
+
+func Undocumented() {}
+
+// Documented does things.
+func Documented() {}
+
+func internal() {}
+
+type Thing int
+
+// Method on an exported receiver needs a comment too.
+type Box struct{}
+
+func (Box) Get() int { return 0 }
+
+type hidden struct{}
+
+func (hidden) Exported() {}
+
+// Grouped doc covers the whole block.
+const (
+	A = 1
+	B = 2
+)
+
+var Loose = 3
+`,
+	})
+	want := []string{"func Undocumented", "type Thing", "func Get", "Loose"}
+	if len(off) != len(want) {
+		t.Fatalf("offenders = %v, want %d entries for %v", off, len(want), want)
+	}
+	joined := strings.Join(off, "\n")
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Errorf("offenders missing %q in:\n%s", w, joined)
+		}
+	}
+}
+
+func TestCheckPackageMainExemption(t *testing.T) {
+	// Exported identifiers in package main have no importers; only the
+	// package doc is required.
+	if off := checkFiles(t, "main", map[string]string{
+		"main.go": "// Command x does things.\npackage main\n\nfunc Exported() {}\n\nfunc main() {}\n",
+	}); len(off) != 0 {
+		t.Fatalf("main package exported decls flagged: %v", off)
+	}
+}
+
+func TestRepositoryClean(t *testing.T) {
+	// The module pattern works from any directory inside the module,
+	// including this test's working directory.
+	pkgs, err := listPackages("expertfind/...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(offenders) != 2 {
-		t.Fatalf("offenders = %v, want bad and detached", offenders)
+	if len(pkgs) < 20 {
+		t.Fatalf("go list found only %d packages", len(pkgs))
 	}
-	if !strings.Contains(offenders[0], "bad") || !strings.Contains(offenders[1], "detached") {
-		t.Fatalf("offenders = %v", offenders)
-	}
-
-	// The real repository must stay clean.
-	offenders, err = check("../..")
-	if err != nil {
-		t.Fatal(err)
+	var offenders []string
+	for _, p := range pkgs {
+		off, err := checkPackage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offenders = append(offenders, off...)
 	}
 	if len(offenders) != 0 {
 		t.Fatalf("repository packages lack doc comments: %v", offenders)

@@ -19,6 +19,9 @@
 //	         [-addr URL] [-max-concurrent N] [-request-timeout D]
 //	         [-scatter] [-scatter-shards N] [-scatter-requests N]
 //	         [-scatter-verbose]
+//	         [-scale-run] [-scale-dir DIR] [-scale-requests N]
+//	         [-scale-chunk-docs N] [-scale-max-heap-mb N]
+//	         [-segment-flush-docs N] [-segment-max N]
 //	         [-out BENCH_4.json] [-baseline file] [-max-regress F]
 //	         [-stamp] [-rev REV] [-compare-only]
 //
@@ -89,6 +92,18 @@
 // X-Expertfind-Degraded header and the degraded-query counter > 0),
 // and recovered (the shard restarted: byte-identical again). The
 // report lands in BENCH_6.run.json unless -out is set explicitly.
+//
+// Scale. -scale-run replaces the sim/real phases with the
+// million-user streaming scenario (cmd/loadtest/scale.go): the -scale
+// corpus is streamed to disk in bounded memory, the disk-backed
+// segment index is cold-built from the stream (or reopened from a
+// -scale-dir a previous run populated), wall-clock queries are served
+// from it, and a full compaction is followed by a bit-identical
+// replay of sampled queries. The report lands in BENCH_10.json unless
+// -out is set, carrying per-phase structural counters and the peak
+// heap across the run; the gates (>= 1M users at scale >= 100, >= 2
+// seals, a compaction, identical replays, heap under
+// -scale-max-heap-mb) always apply.
 //
 // Gating. With -baseline, the run's steady-phase p95 and throughput
 // are compared against the saved report; regressions beyond
@@ -161,6 +176,14 @@ type options struct {
 	scatterReq     int
 	scatterVerbose bool
 
+	scaleRun       bool
+	scaleDir       string
+	scaleReq       int
+	scaleChunkDocs int
+	scaleMaxHeapMB int
+	segmentFlush   int
+	segmentMax     int
+
 	out         string
 	baseline    string
 	maxRegress  float64
@@ -226,6 +249,14 @@ func parseFlags() *options {
 	flag.IntVar(&o.scatterReq, "scatter-requests", 150, "requests per scatter phase (steady, degraded, recovered)")
 	flag.BoolVar(&o.scatterVerbose, "scatter-verbose", false, "forward scatter child-process logs to stderr")
 
+	flag.BoolVar(&o.scaleRun, "scale-run", false, "run the million-user streaming/segment scale scenario instead of the sim/real phases")
+	flag.StringVar(&o.scaleDir, "scale-dir", "", "working directory for the scale corpus and segments (kept and reused; empty = temp dir)")
+	flag.IntVar(&o.scaleReq, "scale-requests", 120, "queries in the scale-query phase")
+	flag.IntVar(&o.scaleChunkDocs, "scale-chunk-docs", 25000, "bulk resources per generated stream chunk")
+	flag.IntVar(&o.scaleMaxHeapMB, "scale-max-heap-mb", 16384, "peak-heap gate for the scale run in MB (0 disables)")
+	flag.IntVar(&o.segmentFlush, "segment-flush-docs", 0, "segment store memtable flush threshold (0 = default)")
+	flag.IntVar(&o.segmentMax, "segment-max", 0, "segment count that triggers compaction (0 = default)")
+
 	flag.StringVar(&o.out, "out", defaultOut, "report output path")
 	flag.StringVar(&o.baseline, "baseline", "", "baseline report to gate against")
 	flag.Float64Var(&o.maxRegress, "max-regress", 0.20, "allowed fractional p95/qps regression")
@@ -252,6 +283,9 @@ func main() {
 	}
 	if o.scatter {
 		os.Exit(runScatter(o))
+	}
+	if o.scaleRun {
+		os.Exit(runScale(o))
 	}
 	if o.topK > 0 {
 		os.Exit(runTopK(o))

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed N] [-scale F] [-corpus file.json.gz]
+//	      [-stream-corpus file.stream.json.gz -segment-dir DIR]
+//	      [-segment-flush-docs N] [-segment-max N] [-segment-maintain D]
 //	      [-index-shards N] [-topk N] [-request-timeout D]
 //	      [-max-concurrent N]
 //	      [-retry-after D] [-cache-size N] [-cache-ttl D] [-debug]
@@ -16,6 +18,17 @@
 //
 // With -corpus, the system is built from a saved corpus snapshot
 // (datagen -save); otherwise a synthetic corpus is generated.
+//
+// With -stream-corpus and -segment-dir, the system serves a streaming
+// corpus (datagen -stream) from a disk-backed segment index. When the
+// segment directory already holds a built index (datagen -segment-dir,
+// or a previous serve run) it is opened directly — no analysis pass;
+// an empty directory is populated by analyzing the corpus chunk by
+// chunk in bounded memory. -segment-maintain runs background sealing
+// and compaction at that interval; rankings are bit-identical across
+// any segment layout. Streaming serving is exclusive with -corpus,
+// -shard-count and continuous ingest (deltas need the generated
+// corpus's remote twin, and shards slice a monolithic corpus).
 //
 // With -ingest-interval > 0, the server runs continuous ingest
 // (internal/ingest): a same-ID remote replica of the generated corpus
@@ -94,6 +107,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed (ignored with -corpus)")
 	scale := flag.Float64("scale", 0.5, "corpus volume multiplier (ignored with -corpus)")
 	corpus := flag.String("corpus", "", "load a saved corpus snapshot instead of generating")
+	streamCorpus := flag.String("stream-corpus", "", "serve a streaming corpus (datagen -stream) from a segment index (requires -segment-dir)")
+	segmentDir := flag.String("segment-dir", "", "segment index directory for -stream-corpus (reused if already built)")
+	segmentFlush := flag.Int("segment-flush-docs", 0, "segment store memtable flush threshold (0 = default)")
+	segmentMax := flag.Int("segment-max", 0, "segment count that triggers compaction (0 = default)")
+	segmentMaintain := flag.Duration("segment-maintain", 30*time.Second, "background segment maintenance interval (0 disables)")
 	indexShards := flag.Int("index-shards", 0, "document shards scored in parallel per query (0 = GOMAXPROCS, 1 = monolithic)")
 	topK := flag.Int("topk", 0, "default top-k resource bound for /v1/find (MaxScore pruning; 0 = exhaustive)")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handling deadline (0 disables)")
@@ -132,8 +150,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *ingestInterval > 0 && (*corpus != "" || *shardCount > 0) {
+	if *ingestInterval > 0 && (*corpus != "" || *streamCorpus != "" || *shardCount > 0) {
 		fatalf("continuous ingest requires the generated corpus",
+			"corpus", *corpus, "stream_corpus", *streamCorpus, "shard_count", *shardCount)
+	}
+	if *streamCorpus != "" && *segmentDir == "" {
+		fatalf("-stream-corpus requires -segment-dir")
+	}
+	if *streamCorpus != "" && (*corpus != "" || *shardCount > 0) {
+		fatalf("streaming serving is exclusive with -corpus and -shard-count",
 			"corpus", *corpus, "shard_count", *shardCount)
 	}
 
@@ -191,6 +216,11 @@ func main() {
 		)
 		cfg := expertfind.Config{Seed: *seed, Scale: *scale, IndexShards: *indexShards}
 		switch {
+		case *streamCorpus != "":
+			sys, err = expertfind.NewSystemFromStream(*streamCorpus, *segmentDir, expertfind.StreamOptions{
+				FlushDocs:   *segmentFlush,
+				MaxSegments: *segmentMax,
+			})
 		case *corpus != "" && shard != nil:
 			sys, err = expertfind.NewSystemFromCorpusShard(*corpus, *indexShards, shard.ID, shard.Count)
 		case *corpus != "":
@@ -216,6 +246,17 @@ func main() {
 				"resources", st.Resources, "index_shards", st.IndexShards)
 		}
 		handler.SetSystem(sys)
+
+		if store := sys.SegmentStore(); store != nil {
+			st := store.Status()
+			logger.Info("segment store serving",
+				"dir", *segmentDir, "segments", len(st.Segments),
+				"live_docs", st.LiveDocs, "tombstones", st.Tombstones,
+				"disk_bytes", st.DiskBytes)
+			if *segmentMaintain > 0 {
+				store.StartBackground(*segmentMaintain)
+			}
+		}
 
 		if *ingestInterval > 0 {
 			// The remote twin: the same generator configuration yields a

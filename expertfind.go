@@ -208,6 +208,52 @@ func NewSystemFromCorpusAndIndex(corpusPath, indexPath string) (*System, error) 
 	return wrapSystem(experiments.BuildSystemWithIndex(ds, ix)), nil
 }
 
+// StreamOptions configures NewSystemFromStream's segment store.
+type StreamOptions struct {
+	// FlushDocs is the memtable size that triggers sealing a segment
+	// to disk during a cold build (0 selects the store default).
+	FlushDocs int
+	// MaxSegments bounds the sealed-segment count before maintenance
+	// compacts (0 selects the store default).
+	MaxSegments int
+	// ForceStream disables mmap in favor of positioned reads.
+	ForceStream bool
+	// KeepTexts retains bulk resource texts in memory; by default they
+	// are dropped after indexing so a million-user corpus serves in a
+	// bounded-memory envelope.
+	KeepTexts bool
+}
+
+// NewSystemFromStream loads a stream corpus (written by `datagen
+// -stream`) and serves it from the disk-backed segment store rooted
+// at segmentDir. A store that already holds documents — e.g. one
+// built by `datagen -stream -segment-dir` — is served directly,
+// skipping analysis; an empty store is populated chunk by chunk with
+// segments sealed to disk as the memtable fills, so building a
+// million-user corpus stays within a bounded-memory envelope.
+// Rankings are bit-identical to an in-memory build of the same
+// corpus.
+func NewSystemFromStream(corpusPath, segmentDir string, opts StreamOptions) (*System, error) {
+	inner, err := experiments.BuildSystemFromStream(corpusPath, segmentDir, experiments.StreamBuildOptions{
+		FlushDocs:   opts.FlushDocs,
+		MaxSegments: opts.MaxSegments,
+		ForceStream: opts.ForceStream,
+		KeepTexts:   opts.KeepTexts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapSystem(inner), nil
+}
+
+// SegmentStore returns the system's disk-backed segment store, or nil
+// when the system serves from an in-memory index. The serving layer
+// uses it to run background maintenance and expose store status.
+func (s *System) SegmentStore() *index.Store {
+	st, _ := s.inner.Finder.Index().(*index.Store)
+	return st
+}
+
 // SaveIndex writes the system's resource index as a binary segment
 // that NewSystemFromCorpusAndIndex can reload.
 func (s *System) SaveIndex(path string) (err error) {
@@ -382,22 +428,22 @@ func (s *System) SetResultCache(c core.ResultCache) {
 
 // NewIngester wires a continuous-ingest driver (internal/ingest) onto
 // this system: cfg needs only the remote surface (API) plus optional
-// cache/retry/observability hooks — the installed graph, live sharded
-// index, analysis pipeline and this system's finder are filled in
-// here. The driver's RunOnce re-fetches the remote corpus, diffs it
-// against the installed one and applies the delta live; rankings after
-// any round are bit-identical to a cold rebuild of the remote state.
-// It returns an error when the system's index is not the live sharded
-// kind deltas can be applied to. Scatter shard-slice systems must not
-// be ingested into: a delta carries the whole corpus, not the slice
-// (cmd/serve refuses the flag combination).
+// cache/retry/observability hooks — the installed graph, live index,
+// analysis pipeline and this system's finder are filled in here. The
+// driver's RunOnce re-fetches the remote corpus, diffs it against the
+// installed one and applies the delta live; rankings after any round
+// are bit-identical to a cold rebuild of the remote state. Both the
+// in-memory sharded index and the disk-backed segment store accept
+// deltas; any other index kind is an error. Scatter shard-slice
+// systems must not be ingested into: a delta carries the whole
+// corpus, not the slice (cmd/serve refuses the flag combination).
 func (s *System) NewIngester(cfg ingest.Config) (*ingest.Ingester, error) {
-	sharded, ok := s.inner.Finder.Index().(*index.Sharded)
+	live, ok := s.inner.Finder.Index().(ingest.DeltaIndex)
 	if !ok {
 		return nil, fmt.Errorf("expertfind: index %T does not accept live deltas", s.inner.Finder.Index())
 	}
 	cfg.Graph = s.inner.DS.Graph
-	cfg.Index = sharded
+	cfg.Index = live
 	cfg.Pipe = s.inner.Finder.Pipeline()
 	cfg.Finders = append(cfg.Finders, s.inner.Finder)
 	return ingest.New(cfg), nil

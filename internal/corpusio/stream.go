@@ -1,0 +1,212 @@
+package corpusio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"expertfind/internal/dataset"
+)
+
+// streamFormatVersion guards the chunked stream-corpus format, which
+// is versioned independently of the monolithic snapshot format.
+const streamFormatVersion = 1
+
+// streamRecord is one line of a stream corpus file: exactly one of
+// the payload fields is set. The first record is the header, followed
+// by the base snapshot, the bulk chunks in order, and a trailer whose
+// totals let the loader detect truncated files.
+type streamRecord struct {
+	Format  string               `json:"format,omitempty"`
+	Version int                  `json:"version,omitempty"`
+	Base    *dataset.Snapshot    `json:"base,omitempty"`
+	Chunk   *dataset.StreamChunk `json:"chunk,omitempty"`
+	EOF     *streamTrailer       `json:"eof,omitempty"`
+}
+
+// streamTrailer closes a stream corpus with the totals the loader
+// verifies after replay.
+type streamTrailer struct {
+	Chunks    int `json:"chunks"`
+	Users     int `json:"users"`
+	Resources int `json:"resources"`
+}
+
+// StreamWriter persists a streamed corpus incrementally — header and
+// base snapshot first, then one record per bulk chunk — so a
+// scale-100 corpus is written without ever materializing more than
+// the base plus one chunk. Use with dataset.GenerateStream: write the
+// base in onBase and each chunk in onChunk, then Close to append the
+// integrity trailer.
+type StreamWriter struct {
+	f      *os.File
+	gz     *gzip.Writer
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	chunks int
+	users  int
+	res    int
+	closed bool
+}
+
+// CreateStream opens path for stream-corpus writing; a ".gz" suffix
+// selects gzip compression.
+func CreateStream(path string) (*StreamWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &StreamWriter{f: f}
+	var out io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		w.gz = gzip.NewWriter(f)
+		out = w.gz
+	}
+	w.bw = bufio.NewWriterSize(out, 1<<20)
+	w.enc = json.NewEncoder(w.bw)
+	if err := w.enc.Encode(streamRecord{Format: "expertfind-corpus-stream", Version: streamFormatVersion}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteBase writes the base dataset snapshot; call once, before any
+// chunk.
+func (w *StreamWriter) WriteBase(d *dataset.Dataset) error {
+	snap := d.Snapshot()
+	w.users = d.Graph.NumUsers()
+	w.res = d.Graph.NumResources()
+	return w.enc.Encode(streamRecord{Base: snap})
+}
+
+// WriteChunk appends one bulk chunk.
+func (w *StreamWriter) WriteChunk(c *dataset.StreamChunk) error {
+	w.chunks++
+	w.users += len(c.Users)
+	w.res += len(c.Resources)
+	return w.enc.Encode(streamRecord{Chunk: c})
+}
+
+// Close appends the integrity trailer and closes the file.
+func (w *StreamWriter) Close() (err error) {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err = w.enc.Encode(streamRecord{EOF: &streamTrailer{Chunks: w.chunks, Users: w.users, Resources: w.res}})
+	if ferr := w.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if w.gz != nil {
+		if gerr := w.gz.Close(); err == nil {
+			err = gerr
+		}
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// StreamLoadOptions customizes stream-corpus loading.
+type StreamLoadOptions struct {
+	// DropTexts blanks every bulk resource text right after its chunk
+	// is applied, keeping only the graph structure — the mode a server
+	// uses when scoring comes from a pre-built segment store and the
+	// texts would only burn memory.
+	DropTexts bool
+	// OnChunk, when set, observes each chunk after it is applied to
+	// the growing dataset (and before DropTexts blanking). Returning
+	// an error aborts the load.
+	OnChunk func(d *dataset.Dataset, c *dataset.StreamChunk) error
+}
+
+// LoadStreamFile replays a stream corpus written by StreamWriter:
+// base snapshot first, then every chunk in order, rebuilding the
+// exact dataset GenerateStream produced. A ".gz" suffix selects gzip;
+// a missing trailer or mismatched totals is a truncation error.
+func LoadStreamFile(path string, o StreamLoadOptions) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("corpusio: opening gzip stream corpus: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+
+	var hdr streamRecord
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("corpusio: decoding stream header: %w", err)
+	}
+	if hdr.Format != "expertfind-corpus-stream" {
+		return nil, fmt.Errorf("corpusio: not an expertfind stream corpus (format %q)", hdr.Format)
+	}
+	if hdr.Version != streamFormatVersion {
+		return nil, fmt.Errorf("corpusio: unsupported stream corpus version %d (supported: %d)", hdr.Version, streamFormatVersion)
+	}
+
+	var d *dataset.Dataset
+	chunks := 0
+	for {
+		var rec streamRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("corpusio: stream corpus truncated (no trailer)")
+			}
+			return nil, fmt.Errorf("corpusio: decoding stream record: %w", err)
+		}
+		switch {
+		case rec.Base != nil:
+			if d != nil {
+				return nil, fmt.Errorf("corpusio: stream corpus has two base snapshots")
+			}
+			d, err = dataset.FromSnapshot(rec.Base)
+			if err != nil {
+				return nil, fmt.Errorf("corpusio: %w", err)
+			}
+		case rec.Chunk != nil:
+			if d == nil {
+				return nil, fmt.Errorf("corpusio: stream corpus chunk before base snapshot")
+			}
+			chunks++
+			d.ApplyChunk(rec.Chunk)
+			if o.OnChunk != nil {
+				if err := o.OnChunk(d, rec.Chunk); err != nil {
+					return nil, err
+				}
+			}
+			if o.DropTexts {
+				d.BlankChunkTexts(rec.Chunk)
+			}
+		case rec.EOF != nil:
+			if d == nil {
+				return nil, fmt.Errorf("corpusio: stream corpus has no base snapshot")
+			}
+			if rec.EOF.Chunks != chunks {
+				return nil, fmt.Errorf("corpusio: stream corpus truncated: %d of %d chunks", chunks, rec.EOF.Chunks)
+			}
+			if got := d.Graph.NumUsers(); got != rec.EOF.Users {
+				return nil, fmt.Errorf("corpusio: stream corpus user count %d, trailer says %d", got, rec.EOF.Users)
+			}
+			if got := d.Graph.NumResources(); got != rec.EOF.Resources {
+				return nil, fmt.Errorf("corpusio: stream corpus resource count %d, trailer says %d", got, rec.EOF.Resources)
+			}
+			return d, nil
+		default:
+			return nil, fmt.Errorf("corpusio: stream corpus has an empty record")
+		}
+	}
+}

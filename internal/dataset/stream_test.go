@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"testing"
+
+	"expertfind/internal/socialgraph"
+)
+
+func streamTestConfig() StreamConfig {
+	return StreamConfig{
+		Config:    Config{Seed: 3, Scale: 1.5},
+		ChunkDocs: 9000,
+	}
+}
+
+// sampleTexts fingerprints a graph: sparse resource texts plus counts.
+func sampleTexts(g *socialgraph.Graph) []string {
+	var out []string
+	for i := 0; i < g.NumResources(); i += 997 {
+		out = append(out, g.Resource(socialgraph.ResourceID(i)).Text)
+	}
+	return out
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	cfg := streamTestConfig()
+	a, err := GenerateStream(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumResources() != b.Graph.NumResources() || a.Graph.NumUsers() != b.Graph.NumUsers() {
+		t.Fatalf("runs differ: %d/%d resources, %d/%d users",
+			a.Graph.NumResources(), b.Graph.NumResources(), a.Graph.NumUsers(), b.Graph.NumUsers())
+	}
+	sa, sb := sampleTexts(a.Graph), sampleTexts(b.Graph)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sampled text %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateStreamVolumeAndChunking(t *testing.T) {
+	cfg := streamTestConfig()
+	wantChunks := cfg.BulkChunks()
+	if wantChunks != 4 { // ceil(24000*1.5 / 9000)
+		t.Fatalf("BulkChunks = %d, want 4", wantChunks)
+	}
+	var chunks []*StreamChunk
+	var baseUsers, baseRes int
+	d, err := GenerateStream(cfg,
+		func(d *Dataset) error {
+			baseUsers, baseRes = d.Graph.NumUsers(), d.Graph.NumResources()
+			return nil
+		},
+		func(_ *Dataset, c *StreamChunk) error {
+			chunks = append(chunks, c)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != wantChunks {
+		t.Fatalf("emitted %d chunks, want %d", len(chunks), wantChunks)
+	}
+	bulkRes, bulkUsers := 0, 0
+	for _, c := range chunks {
+		bulkRes += len(c.Resources)
+		bulkUsers += len(c.Users)
+	}
+	if want := int(bulkDocsPerScale * cfg.Scale); bulkRes != want {
+		t.Fatalf("bulk resources %d, want %d", bulkRes, want)
+	}
+	if want := int(bulkUsersPerScale * cfg.Scale); bulkUsers != want {
+		t.Fatalf("bulk users %d, want %d", bulkUsers, want)
+	}
+	if got := d.Graph.NumResources(); got != baseRes+bulkRes {
+		t.Fatalf("final resources %d, want base %d + bulk %d", got, baseRes, bulkRes)
+	}
+	if got := d.Graph.NumUsers(); got != baseUsers+bulkUsers {
+		t.Fatalf("final users %d, want base %d + bulk %d", got, baseUsers, bulkUsers)
+	}
+	// Chunk id ranges are consecutive and disjoint.
+	next := socialgraph.ResourceID(baseRes)
+	for i, c := range chunks {
+		if c.FirstResource != next {
+			t.Fatalf("chunk %d starts at resource %d, want %d", i, c.FirstResource, next)
+		}
+		next += socialgraph.ResourceID(len(c.Resources))
+	}
+}
+
+// Replaying the emitted base + chunks rebuilds the generated graph
+// exactly — the property the stream corpus format relies on.
+func TestGenerateStreamReplay(t *testing.T) {
+	cfg := streamTestConfig()
+	var base *Snapshot
+	var chunks []*StreamChunk
+	gen, err := GenerateStream(cfg,
+		func(d *Dataset) error { base = d.Snapshot(); return nil },
+		func(_ *Dataset, c *StreamChunk) error { chunks = append(chunks, c); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := FromSnapshot(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		replayed.ApplyChunk(c)
+	}
+	if replayed.Graph.NumResources() != gen.Graph.NumResources() ||
+		replayed.Graph.NumUsers() != gen.Graph.NumUsers() {
+		t.Fatalf("replay: %d resources / %d users, want %d / %d",
+			replayed.Graph.NumResources(), replayed.Graph.NumUsers(),
+			gen.Graph.NumResources(), gen.Graph.NumUsers())
+	}
+	sa, sb := sampleTexts(gen.Graph), sampleTexts(replayed.Graph)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sampled text %d differs after replay", i)
+		}
+	}
+	// Creators and containers replay too, not just texts.
+	for i := 0; i < gen.Graph.NumResources(); i += 1511 {
+		ra := gen.Graph.Resource(socialgraph.ResourceID(i))
+		rb := replayed.Graph.Resource(socialgraph.ResourceID(i))
+		if ra.Creator != rb.Creator || ra.Container != rb.Container || ra.Network != rb.Network {
+			t.Fatalf("resource %d structure differs after replay: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestGenerateStreamSmallScaleIsBaseOnly(t *testing.T) {
+	cfg := StreamConfig{Config: Config{Seed: 2, Scale: 0.5}}
+	calls := 0
+	d, err := GenerateStream(cfg, nil, func(*Dataset, *StreamChunk) error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("scale 0.5 emitted %d chunks, want 0", calls)
+	}
+	plain := Generate(Config{Seed: 2, Scale: 0.5})
+	if d.Graph.NumResources() != plain.Graph.NumResources() {
+		t.Fatalf("stream base %d resources, Generate %d", d.Graph.NumResources(), plain.Graph.NumResources())
+	}
+}
+
+func TestBlankChunkTexts(t *testing.T) {
+	cfg := StreamConfig{Config: Config{Seed: 5, Scale: 1.2}, ChunkDocs: 3000}
+	d, err := GenerateStream(cfg, nil, func(d *Dataset, c *StreamChunk) error {
+		d.BlankChunkTexts(c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every bulk resource text is blank, base texts are intact.
+	blank, withText := 0, 0
+	for i := 0; i < d.Graph.NumResources(); i++ {
+		if d.Graph.Resource(socialgraph.ResourceID(i)).Text == "" {
+			blank++
+		} else {
+			withText++
+		}
+	}
+	if blank < int(bulkDocsPerScale*cfg.Scale) {
+		t.Fatalf("only %d blank texts, want ≥ %d", blank, int(bulkDocsPerScale*cfg.Scale))
+	}
+	if withText == 0 {
+		t.Fatal("base texts were blanked too")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"expertfind/internal/core"
+	"expertfind/internal/corpusio"
+	"expertfind/internal/dataset"
+	"expertfind/internal/index"
+)
+
+// A system built from a stream corpus through the disk-backed segment
+// store ranks bit-identically to an in-memory sharded build of the
+// same corpus, cold-built or reopened from the sealed segments.
+func TestBuildSystemFromStreamBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.stream.json.gz")
+	w, err := corpusio.CreateStream(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.StreamConfig{Config: dataset.Config{Seed: 6, Scale: 1.4}, ChunkDocs: 9000}
+	if _, err := dataset.GenerateStream(cfg,
+		func(d *dataset.Dataset) error { return w.WriteBase(d) },
+		func(_ *dataset.Dataset, c *dataset.StreamChunk) error { return w.WriteChunk(c) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segDir := filepath.Join(dir, "segments")
+	streamed, err := BuildSystemFromStream(corpus, segDir, StreamBuildOptions{FlushDocs: 8000, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := streamed.Finder.Index().(*index.Store)
+	defer store.Close()
+	if st := store.Status(); st.Seals < 2 {
+		t.Fatalf("cold build sealed %d segments, want ≥ 2 (FlushDocs=8000)", st.Seals)
+	}
+
+	// Reference: the same corpus loaded whole and indexed in memory.
+	ds, err := corpusio.LoadStreamFile(corpus, corpusio.StreamLoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := BuildSystemFromDataset(ds)
+	if streamed.Kept != reference.Kept {
+		t.Fatalf("streamed kept %d docs, reference %d", streamed.Kept, reference.Kept)
+	}
+
+	assertSameRankings := func(label string, sys *System) {
+		t.Helper()
+		for _, q := range reference.DS.Queries[:8] {
+			want := reference.Finder.Find(q.Text, core.Params{})
+			got := sys.Finder.Find(q.Text, core.Params{})
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %d: %d experts, want %d", label, q.ID, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].User != want[i].User ||
+					math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+					t.Fatalf("%s: query %d rank %d: %+v, want %+v", label, q.ID, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	assertSameRankings("cold build", streamed)
+
+	// Reopen path: the sealed store is served without re-analysis.
+	store.Close()
+	reopened, err := BuildSystemFromStream(corpus, segDir, StreamBuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Finder.Index().(*index.Store).Close()
+	if reopened.Kept != reference.Kept {
+		t.Fatalf("reopened kept %d docs, want %d", reopened.Kept, reference.Kept)
+	}
+	assertSameRankings("reopened store", reopened)
+}

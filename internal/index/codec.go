@@ -110,20 +110,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		if _, err := cw.Write([]byte(t)); err != nil {
 			return cw.n, err
 		}
-		l := ix.terms[t].canonical()
-		writeUvarint(cw, uint64(l.count))
-		writeUvarint(cw, uint64(len(l.blocks)))
-		prevMax := DocID(0)
-		for i, bm := range l.blocks {
-			writeUvarint(cw, uint64(bm.n))
-			writeUvarint(cw, uint64(bm.maxDoc-prevMax))
-			writeUvarint(cw, uint64(bm.maxW))
-			data := l.data[bm.off:l.blockEnd(i)]
-			writeUvarint(cw, uint64(len(data)))
-			if _, err := cw.Write(data); err != nil {
-				return cw.n, err
-			}
-			prevMax = bm.maxDoc
+		if err := writeTermListBody(cw, ix.terms[t].canonical()); err != nil {
+			return cw.n, err
 		}
 	}
 
@@ -134,26 +122,10 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Slice(ents, func(i, j int) bool { return ents[i] < ents[j] })
 	writeUvarint(cw, uint64(len(ents)))
-	var f8 [8]byte
 	for _, e := range ents {
 		writeUvarint(cw, uint64(e))
-		l := ix.entities[kb.EntityID(e)].canonical()
-		writeUvarint(cw, uint64(l.count))
-		writeUvarint(cw, uint64(len(l.blocks)))
-		prevMax := DocID(0)
-		for i, bm := range l.blocks {
-			writeUvarint(cw, uint64(bm.n))
-			writeUvarint(cw, uint64(bm.maxDoc-prevMax))
-			binary.LittleEndian.PutUint64(f8[:], math.Float64bits(bm.maxW))
-			if _, err := cw.Write(f8[:]); err != nil {
-				return cw.n, err
-			}
-			data := l.data[bm.off:l.blockEnd(i)]
-			writeUvarint(cw, uint64(len(data)))
-			if _, err := cw.Write(data); err != nil {
-				return cw.n, err
-			}
-			prevMax = bm.maxDoc
+		if err := writeEntityListBody(cw, ix.entities[kb.EntityID(e)].canonical()); err != nil {
+			return cw.n, err
 		}
 	}
 
@@ -265,9 +237,17 @@ func readV2Lists(br *bufio.Reader, ix *Index, nDocs uint64) (*Index, error) {
 	return ix, nil
 }
 
+// byteScanner is the reader the v2 block decoders consume: buffered
+// byte and bulk reads. *bufio.Reader satisfies it; the segment opener
+// wraps one to track the logical byte offset of each posting list.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
 // readListHeader reads and sanity-checks a v2 list's count and block
 // count against the canonical blocking invariant.
-func readListHeader(br *bufio.Reader, nDocs uint64, what string) (count, nBlocks int, err error) {
+func readListHeader(br byteScanner, nDocs uint64, what string) (count, nBlocks int, err error) {
 	c, err := binary.ReadUvarint(br)
 	if err != nil {
 		return 0, 0, fmt.Errorf("index: reading postings count of %s: %w", what, err)
@@ -286,7 +266,7 @@ func readListHeader(br *bufio.Reader, nDocs uint64, what string) (count, nBlocks
 	return int(c), int(nb), nil
 }
 
-func readTermBlocks(br *bufio.Reader, ix *Index, nDocs uint64, term string) (*termList, error) {
+func readTermBlocks(br byteScanner, ix *Index, nDocs uint64, term string) (*termList, error) {
 	what := fmt.Sprintf("term %q", term)
 	count, nBlocks, err := readListHeader(br, nDocs, what)
 	if err != nil {
@@ -364,7 +344,7 @@ func readTermBlocks(br *bufio.Reader, ix *Index, nDocs uint64, term string) (*te
 	return l, nil
 }
 
-func readEntityBlocks(br *bufio.Reader, ix *Index, nDocs uint64, eid uint64) (*entityList, error) {
+func readEntityBlocks(br byteScanner, ix *Index, nDocs uint64, eid uint64) (*entityList, error) {
 	what := fmt.Sprintf("entity %d", eid)
 	count, nBlocks, err := readListHeader(br, nDocs, what)
 	if err != nil {
@@ -452,7 +432,7 @@ func readEntityBlocks(br *bufio.Reader, ix *Index, nDocs uint64, eid uint64) (*e
 
 // readBlockMeta reads the leading (n, maxDocDelta) pair of a block's
 // skip entry.
-func readBlockMeta(br *bufio.Reader, what string, b int) (n int, maxDocDelta uint64, err error) {
+func readBlockMeta(br byteScanner, what string, b int) (n int, maxDocDelta uint64, err error) {
 	nn, err := binary.ReadUvarint(br)
 	if err != nil {
 		return 0, 0, fmt.Errorf("index: reading block %d size of %s: %w", b, what, err)
@@ -471,7 +451,7 @@ func readBlockMeta(br *bufio.Reader, what string, b int) (n int, maxDocDelta uin
 }
 
 // readBlockData reads a block's declared byte length and payload.
-func readBlockData(br *bufio.Reader, what string, b int) ([]byte, error) {
+func readBlockData(br byteScanner, what string, b int) ([]byte, error) {
 	byteLen, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("index: reading block %d byte length of %s: %w", b, what, err)

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package index
+
+import (
+	"errors"
+	"os"
+)
+
+// newMmapSource is unavailable off unix; OpenSegment falls back to
+// positioned reads.
+func newMmapSource(f *os.File, size int64) (sectionSource, error) {
+	return nil, errors.New("index: mmap unsupported on this platform")
+}

@@ -1,0 +1,39 @@
+//go:build unix
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSource serves sections as subslices of a read-only mapping of
+// the whole segment file — queries touch only the pages the planned
+// lists live on, and the kernel page cache is shared across processes
+// opening the same segment.
+type mmapSource struct {
+	f    *os.File
+	data []byte
+}
+
+// newMmapSource maps the segment file read-only. Callers fall back to
+// positioned reads on error.
+func newMmapSource(f *os.File, size int64) (sectionSource, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapSource{f: f, data: data}, nil
+}
+
+func (s *mmapSource) section(off, n int64) []byte {
+	return s.data[off : off+n : off+n]
+}
+
+func (s *mmapSource) Close() error {
+	err := syscall.Munmap(s.data)
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -25,9 +25,12 @@ type Config struct {
 	// Graph is the installed corpus: a same-ID replica of the remote
 	// graph behind API.
 	Graph *socialgraph.Graph
-	// Index is the live sharded index over Graph's analyzable
-	// resources; deltas are applied to it atomically.
-	Index *index.Sharded
+	// Index is the live index over Graph's analyzable resources;
+	// deltas are applied to it atomically. Both the in-memory sharded
+	// index (*index.Sharded) and the disk-backed segment store
+	// (*index.Store, whose deltas land in the mutable memtable and
+	// reach disk at the next seal) implement the surface.
+	Index DeltaIndex
 	// Pipe is the analysis pipeline the index was built with.
 	Pipe *analysis.Pipeline
 	// Finders are the query frontends serving over Graph and Index.
@@ -47,6 +50,12 @@ type Config struct {
 	// Tracer, when set, records one trace per round with
 	// fetch/diff/apply/invalidate spans.
 	Tracer *telemetry.Tracer
+}
+
+// DeltaIndex is the live-index surface an ingest delta applies to:
+// removes, updates and adds land as one atomic step.
+type DeltaIndex interface {
+	ApplyDelta(index.Delta)
 }
 
 // ScopedCache is the invalidation surface the ingester drives:

@@ -16,10 +16,12 @@ type MalformedError struct {
 	Err   error
 }
 
+// Error formats the offending shard and the contract violation.
 func (e *MalformedError) Error() string {
 	return fmt.Sprintf("scatter: malformed reply from shard %d: %v", e.Shard, e.Err)
 }
 
+// Unwrap exposes the underlying violation for errors.Is/As.
 func (e *MalformedError) Unwrap() error { return e.Err }
 
 // mergeLess is the global ranking comparator (descending score, ties

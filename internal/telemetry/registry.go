@@ -21,6 +21,7 @@ const (
 	HistogramType
 )
 
+// String names the type as it appears in Prometheus TYPE lines.
 func (t MetricType) String() string {
 	switch t {
 	case CounterType:
